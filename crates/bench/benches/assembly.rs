@@ -1,0 +1,46 @@
+//! Assembly cost per scheme: how long each direction takes to organize a
+//! whole pool of characterized blocks (the practicality axis of Table I).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_model::{CellType, FlashArray, FlashConfig, Geometry};
+use pvcheck::assembly::{
+    Assembler, LatencySortAssembly, OptimalAssembly, QstrMed, RandomAssembly, RankAssembly,
+    RankStrategy, SequentialAssembly, SortKey,
+};
+use pvcheck::{BlockPool, Characterizer};
+
+fn pool() -> BlockPool {
+    let config = FlashConfig {
+        geometry: Geometry::new(4, 1, 100, 96, 4, CellType::Tlc),
+        variation: flash_model::VariationConfig::default(),
+    };
+    let array = FlashArray::new(config.clone(), 1);
+    Characterizer::new(&config).snapshot(array.latency_model(), 0)
+}
+
+type AssemblerFactory = Box<dyn Fn() -> Box<dyn Assembler>>;
+
+fn bench_assembly(c: &mut Criterion) {
+    let pool = pool();
+    let mut group = c.benchmark_group("assemble_400_blocks");
+    group.sample_size(10);
+    let schemes: Vec<(&str, AssemblerFactory)> = vec![
+        ("random", Box::new(|| Box::new(RandomAssembly::new(1)))),
+        ("sequential", Box::new(|| Box::new(SequentialAssembly::new()))),
+        ("pgm_sort", Box::new(|| Box::new(LatencySortAssembly::new(SortKey::Program)))),
+        ("optimal_w4", Box::new(|| Box::new(OptimalAssembly::new(4)))),
+        ("str_rank_w4", Box::new(|| Box::new(RankAssembly::new(RankStrategy::Str, 4)))),
+        ("str_med_w4", Box::new(|| Box::new(RankAssembly::new(RankStrategy::StrMedian, 4)))),
+        ("lwl_rank_w4", Box::new(|| Box::new(RankAssembly::new(RankStrategy::Lwl, 4)))),
+        ("qstr_med_c4", Box::new(|| Box::new(QstrMed::with_candidates(4)))),
+    ];
+    for (name, make) in schemes {
+        group.bench_function(name, |b| {
+            b.iter_batched(&make, |mut asm| asm.assemble(&pool), BatchSize::SmallInput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Computing-overhead comparison (§VI-B-2): wall-clock cost of organizing
+//! ONE superblock with the full STR-MED window search vs. QSTR-MED's
+//! reference matching — the measured counterpart of the 1,536-vs-12 check
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_model::{CellType, FlashArray, FlashConfig, Geometry};
+use pvcheck::assembly::{Assembler, QstrMed, RankAssembly, RankStrategy, SpeedClass};
+use pvcheck::{BlockPool, Characterizer};
+
+fn pool() -> BlockPool {
+    let config = FlashConfig {
+        geometry: Geometry::new(4, 1, 32, 96, 4, CellType::Tlc),
+        variation: flash_model::VariationConfig::default(),
+    };
+    let array = FlashArray::new(config.clone(), 2);
+    Characterizer::new(&config).snapshot(array.latency_model(), 0)
+}
+
+fn bench_one_superblock(c: &mut Criterion) {
+    let pool = pool();
+    let mut group = c.benchmark_group("organize_one_superblock");
+
+    group.bench_function("str_med_w4_full_search", |b| {
+        // One round of the windowed search dominates; assembling the first
+        // superblock measures the per-superblock decision cost.
+        b.iter_batched(
+            || RankAssembly::new(RankStrategy::StrMedian, 4),
+            |mut asm| {
+                let sbs = asm.assemble(&pool);
+                sbs.into_iter().next()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("qstr_med_c4_reference_match", |b| {
+        let strings = pool.strings();
+        b.iter_batched(
+            || {
+                let mut q = QstrMed::with_candidates(4);
+                for p in 0..pool.pool_count() {
+                    for blk in pool.pool(p) {
+                        q.insert(p, blk.summary(strings));
+                    }
+                }
+                q
+            },
+            |mut q| q.assemble_on_demand(SpeedClass::Fast),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_superblock);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end device throughput per organization scheme.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftl::{FtlConfig, OrganizationScheme, Ssd, Workload};
+
+fn bench_ssd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssd_10k_writes");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("random", OrganizationScheme::Random),
+        ("sequential", OrganizationScheme::Sequential),
+        ("qstr_med", OrganizationScheme::QstrMed { candidates: 4 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut config = FtlConfig::small_test();
+                    config.scheme = scheme;
+                    let ssd = Ssd::new(config, 5).expect("valid config");
+                    let reqs =
+                        Workload::hot_cold_80_20().generate(&ssd.geometry_info(), 10_000, 9);
+                    (ssd, reqs)
+                },
+                |(mut ssd, reqs)| {
+                    ssd.run(&reqs).expect("workload fits");
+                    ssd.stats().busy_us
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssd);
+criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p repro-bench --bin repro -- all
+//! cargo run --release -p repro-bench --bin repro -- table1 table5 --quick
+//! ```
+//!
+//! Outputs aligned text to stdout and CSV files under `results/`.
+//!
+//! Flags:
+//! * `--quick`       small geometry, 2 groups, 1 P/E point (smoke run)
+//! * `--groups N`    independent 4-pool groups to average (default 3; the paper's 24 chips correspond to 6)
+//! * `--blocks N`    blocks per pool (default 1600)
+//! * `--pe-step N`   P/E sweep step for table experiments (default 1500)
+//! * `--out DIR`     output directory (default `results`)
+
+use flash_model::{CellType, Geometry};
+use repro_bench::experiments as exp;
+use repro_bench::report::{pct, us, TextTable};
+use repro_bench::runner::ExperimentParams;
+use std::path::{Path, PathBuf};
+
+struct Cli {
+    commands: Vec<String>,
+    params: ExperimentParams,
+    out: PathBuf,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut commands = Vec::new();
+    let mut groups = 3u64;
+    let mut blocks = 1600u32;
+    let mut pe_step = 1500u32;
+    let mut quick = false;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--groups" => {
+                i += 1;
+                groups = args[i].parse().expect("--groups takes a number");
+            }
+            "--blocks" => {
+                i += 1;
+                blocks = args[i].parse().expect("--blocks takes a number");
+            }
+            "--pe-step" => {
+                i += 1;
+                pe_step = args[i].parse().expect("--pe-step takes a number");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            cmd => commands.push(cmd.to_string()),
+        }
+        i += 1;
+    }
+    if quick {
+        groups = 2;
+        blocks = 400;
+        pe_step = 3000;
+    }
+    if commands.is_empty() {
+        commands.push("all".to_string());
+    }
+    const KNOWN: [&str; 15] = [
+        "all", "table1", "table2", "table5", "fig5", "fig6", "fig12", "fig13", "fig14", "fig15",
+        "overhead", "ablation", "stats", "qstr-sweep", "ers-corr",
+    ];
+    for c in &commands {
+        assert!(
+            KNOWN.contains(&c.as_str()) || c == "retry" || c == "ssd",
+            "unknown command {c:?}; known: {KNOWN:?}, retry, ssd"
+        );
+    }
+    let mut params = ExperimentParams {
+        group_seeds: (0..groups).collect(),
+        pe_points: (0..=3000).step_by(pe_step as usize).collect(),
+        ..ExperimentParams::default()
+    };
+    params.config.geometry = Geometry::new(4, 1, blocks, 96, 4, CellType::Tlc);
+    Cli { commands, params, out }
+}
+
+fn comparison_table(title: &str, r: &exp::ComparisonResult, out: &Path, file: &str) {
+    let mut t = TextTable::new(["Method", "Extra PGM LTN", "Extra ERS LTN", "PGM LTN ↓", "Imp. %"]);
+    t.row([r.baseline.name.clone(), us(r.baseline.extra_pgm_us), us(r.baseline.extra_ers_us), "-".into(), "-".into()]);
+    for s in &r.schemes {
+        t.row([
+            s.name.clone(),
+            us(s.extra_pgm_us),
+            us(s.extra_ers_us),
+            us(s.pgm_reduction_us(&r.baseline)),
+            pct(s.pgm_improvement_pct(&r.baseline)),
+        ]);
+    }
+    println!("== {title} ==\n{}", t.render());
+    t.write_csv(out.join(file)).expect("write csv");
+}
+
+fn main() {
+    let cli = parse_cli();
+    std::fs::create_dir_all(&cli.out).expect("create output dir");
+    let t0 = std::time::Instant::now();
+    for cmd in &cli.commands {
+        let run_all = cmd == "all";
+        if run_all || cmd == "table1" {
+            eprintln!("[{:?}] running table1 ...", t0.elapsed());
+            comparison_table("Table I: eight directions", &exp::table1(&cli.params), &cli.out, "table1.csv");
+        }
+        if run_all || cmd == "table2" {
+            eprintln!("[{:?}] running table2 ...", t0.elapsed());
+            comparison_table("Table II: STR-RANK window sizes", &exp::table2(&cli.params), &cli.out, "table2.csv");
+        }
+        if run_all || cmd == "table5" || cmd == "fig12" {
+            eprintln!("[{:?}] running table5/fig12 ...", t0.elapsed());
+            let r = exp::table5(&cli.params);
+            comparison_table("Table V: extra program and erase latency", &r, &cli.out, "table5.csv");
+            // Figure 12: improvement percentages.
+            let mut t = TextTable::new(["Method", "PGM Imp. %", "ERS Imp. %"]);
+            for s in &r.schemes {
+                t.row([
+                    s.name.clone(),
+                    pct(s.pgm_improvement_pct(&r.baseline)),
+                    pct(s.ers_improvement_pct(&r.baseline)),
+                ]);
+            }
+            println!("== Figure 12: improvement over random ==\n{}", t.render());
+            t.write_csv(cli.out.join("fig12.csv")).expect("write csv");
+        }
+        if run_all || cmd == "fig5" {
+            eprintln!("[{:?}] running fig5 ...", t0.elapsed());
+            let d = exp::fig5(cli.params.group_seeds[0], cli.params.config.geometry.blocks_per_plane());
+            let mut e = TextTable::new(["chip", "plane", "block", "tBERS_us"]);
+            for (c, p, b, t) in &d.erase_rows {
+                e.row([c.to_string(), p.to_string(), b.to_string(), format!("{t:.1}")]);
+            }
+            e.write_csv(cli.out.join("fig5_erase.csv")).expect("write csv");
+            let mut pr = TextTable::new(["chip", "plane", "block", "lwl", "tPROG_us"]);
+            for (c, p, b, w, t) in &d.program_rows {
+                pr.row([c.to_string(), p.to_string(), b.to_string(), w.to_string(), format!("{t:.1}")]);
+            }
+            pr.write_csv(cli.out.join("fig5_program.csv")).expect("write csv");
+            let mean_bers =
+                d.erase_rows.iter().map(|r| r.3).sum::<f64>() / d.erase_rows.len() as f64;
+            println!(
+                "== Figure 5 == wrote {} erase rows and {} program rows (mean tBERS {}); see fig5_*.csv\n",
+                d.erase_rows.len(),
+                d.program_rows.len(),
+                us(mean_bers)
+            );
+        }
+        if run_all || cmd == "fig6" {
+            eprintln!("[{:?}] running fig6 ...", t0.elapsed());
+            let d = exp::fig6(&cli.params);
+            let mut t = TextTable::new(["superblock", "extra_pgm_us", "extra_ers_us"]);
+            for (i, p, e) in &d.per_superblock {
+                t.row([i.to_string(), format!("{p:.1}"), format!("{e:.1}")]);
+            }
+            t.write_csv(cli.out.join("fig6_superblocks.csv")).expect("write csv");
+            let mut t2 = TextTable::new(["pe", "extra_pgm_us", "extra_ers_us"]);
+            for (pe, p, e) in &d.per_pe {
+                t2.row([pe.to_string(), format!("{p:.1}"), format!("{e:.1}")]);
+            }
+            println!("== Figure 6: random assembly extra latency ==\n{}", t2.render());
+            t2.write_csv(cli.out.join("fig6_pe.csv")).expect("write csv");
+        }
+        if run_all || cmd == "fig13" {
+            eprintln!("[{:?}] running fig13 ...", t0.elapsed());
+            let hists = exp::fig13(&cli.params, 500.0);
+            let max_bins = hists.iter().map(|h| h.counts.len()).max().unwrap_or(0);
+            let mut header = vec!["bin_lo_us".to_string()];
+            header.extend(hists.iter().map(|h| h.name.clone()));
+            let mut t = TextTable::new(header);
+            for bin in 0..max_bins {
+                let mut row = vec![format!("{:.0}", bin as f64 * 500.0)];
+                for h in &hists {
+                    row.push(h.counts.get(bin).copied().unwrap_or(0).to_string());
+                }
+                t.row(row);
+            }
+            println!("== Figure 13: extra PGM latency distribution ==\n{}", t.render());
+            t.write_csv(cli.out.join("fig13.csv")).expect("write csv");
+        }
+        if run_all || cmd == "fig14" {
+            eprintln!("[{:?}] running fig14 ...", t0.elapsed());
+            let d = exp::fig14(&cli.params);
+            let mut t = TextTable::new(["rank", "str_med_us", "qstr_med_us", "random_us"]);
+            for (i, s, q, r) in &d.rows {
+                t.row([i.to_string(), format!("{s:.1}"), format!("{q:.1}"), format!("{r:.1}")]);
+            }
+            t.write_csv(cli.out.join("fig14.csv")).expect("write csv");
+            let mean =
+                |f: fn(&(usize, f64, f64, f64)) -> f64| d.rows.iter().map(f).sum::<f64>() / d.rows.len() as f64;
+            println!(
+                "== Figure 14 == mean extra PGM: STR-MED {} vs QSTR-MED {} vs random {} ({} superblocks); fig14.csv\n",
+                us(mean(|r| r.1)),
+                us(mean(|r| r.2)),
+                us(mean(|r| r.3)),
+                d.rows.len()
+            );
+        }
+        if run_all || cmd == "fig15" {
+            eprintln!("[{:?}] running fig15 ...", t0.elapsed());
+            let pe_points: Vec<u32> = (0..=3000).step_by(300).collect();
+            let d = exp::fig15(&cli.params, &pe_points);
+            let mut t = TextTable::new(["pe", "random_pgm", "qstr_pgm", "random_ers", "qstr_ers"]);
+            for (pe, rp, qp, re, qe) in &d.rows {
+                t.row([
+                    pe.to_string(),
+                    format!("{rp:.1}"),
+                    format!("{qp:.1}"),
+                    format!("{re:.2}"),
+                    format!("{qe:.2}"),
+                ]);
+            }
+            println!("== Figure 15: P/E sensitivity ==\n{}", t.render());
+            t.write_csv(cli.out.join("fig15.csv")).expect("write csv");
+        }
+        if run_all || cmd == "overhead" {
+            eprintln!("[{:?}] running overhead ...", t0.elapsed());
+            let o = exp::overhead_analysis(&cli.params);
+            println!("== Overhead (§VI-B-2, §VI-D) ==");
+            println!("STR-MED(4) distance checks / superblock : {}", o.str_med_checks);
+            println!("QSTR-MED(4) distance checks / superblock: {}", o.qstr_med_checks);
+            println!("reduction                               : {}", pct(o.reduction_pct));
+            println!(
+                "measured QSTR checks per superblock     : {:.2}",
+                o.measured_checks_per_superblock
+            );
+            let mut t = TextTable::new(["capacity_B", "block_B", "lwls", "metadata_B"]);
+            for (cap, blk, lwls, bytes) in &o.space_rows {
+                t.row([cap.to_string(), blk.to_string(), lwls.to_string(), bytes.to_string()]);
+            }
+            println!("{}", t.render());
+            t.write_csv(cli.out.join("overhead.csv")).expect("write csv");
+        }
+        if run_all || cmd == "ablation" {
+            eprintln!("[{:?}] running ablation ...", t0.elapsed());
+            let rows = exp::ablation(&cli.params);
+            let mut t = TextTable::new(["model variant", "random extra PGM", "random extra ERS"]);
+            for (name, p, e) in &rows {
+                t.row([name.clone(), us(*p), us(*e)]);
+            }
+            println!("== Ablation: variation sources ==\n{}", t.render());
+            t.write_csv(cli.out.join("ablation.csv")).expect("write csv");
+        }
+        if run_all || cmd == "stats" {
+            eprintln!("[{:?}] running stats ...", t0.elapsed());
+            let s = exp::pool_stats(&cli.params);
+            println!("== Characterization statistics (§III) ==");
+            println!("erase-program correlation          : {:.3}", s.bers_pgm_correlation);
+            println!("same-offset eigen distance (norm.) : {:.4}", s.same_offset_eigen_distance);
+            println!("random-pair eigen distance (norm.) : {:.4}", s.random_pair_eigen_distance);
+            println!(
+                "offset similarity premise          : {}",
+                if s.offset_similarity_holds() { "holds" } else { "violated" }
+            );
+            let mut t = TextTable::new(["pool", "mean PGM sum", "std PGM sum", "mean tBERS", "std tBERS"]);
+            for (i, p) in s.per_pool.iter().enumerate() {
+                t.row([
+                    i.to_string(),
+                    us(p.mean_pgm_sum_us),
+                    us(p.std_pgm_sum_us),
+                    us(p.mean_tbers_us),
+                    us(p.std_tbers_us),
+                ]);
+            }
+            println!("{}", t.render());
+            t.write_csv(cli.out.join("stats.csv")).expect("write csv");
+        }
+        if run_all || cmd == "qstr-sweep" {
+            eprintln!("[{:?}] running qstr-sweep ...", t0.elapsed());
+            let rows = exp::qstr_candidate_sweep(&cli.params);
+            let mut t = TextTable::new(["candidates", "extra PGM LTN", "checks/superblock"]);
+            for (c, pgm, checks) in &rows {
+                t.row([c.to_string(), us(*pgm), format!("{checks:.1}")]);
+            }
+            println!("== Ablation: QSTR-MED candidate depth ==\n{}", t.render());
+            t.write_csv(cli.out.join("qstr_sweep.csv")).expect("write csv");
+        }
+        if run_all || cmd == "ers-corr" {
+            eprintln!("[{:?}] running ers-corr ...", t0.elapsed());
+            let rows = exp::ers_corr_ablation(&cli.params);
+            let mut t = TextTable::new(["ers_pgm_corr", "random ERS", "QSTR-MED ERS"]);
+            for (corr, rnd, qstr) in &rows {
+                t.row([format!("{corr:.2}"), us(*rnd), us(*qstr)]);
+            }
+            println!("== Ablation: erase-program correlation ==\n{}", t.render());
+            t.write_csv(cli.out.join("ers_corr.csv")).expect("write csv");
+        }
+        if run_all || cmd == "retry" {
+            eprintln!("[{:?}] running retry ...", t0.elapsed());
+            let rows = exp::retry_sensitivity(cli.params.group_seeds[0]);
+            let mut t = TextTable::new(["pe", "retention_h", "mean read us", "mean retries"]);
+            for (pe, ret, lat, retries) in &rows {
+                t.row([pe.to_string(), format!("{ret:.0}"), format!("{lat:.1}"), format!("{retries:.2}")]);
+            }
+            println!("== Read-retry sensitivity (wear + retention) ==\n{}", t.render());
+            t.write_csv(cli.out.join("retry.csv")).expect("write csv");
+        }
+        if run_all || cmd == "ssd" {
+            eprintln!("[{:?}] running ssd ...", t0.elapsed());
+            let geo = Geometry::new(4, 1, 48, 24, 4, CellType::Tlc);
+            let rows = exp::ssd_experiment(&geo, 60_000, 7);
+            let mut t = TextTable::new([
+                "Scheme",
+                "write mean",
+                "write p99",
+                "WAF",
+                "extra PGM/op",
+                "extra ERS/op",
+                "checks",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.scheme.clone(),
+                    us(r.write_mean_us),
+                    us(r.write_p99_us),
+                    format!("{:.3}", r.waf),
+                    us(r.extra_pgm_per_op_us),
+                    us(r.extra_ers_per_op_us),
+                    r.distance_checks.to_string(),
+                ]);
+            }
+            println!("== End-to-end SSD (hot/cold 80/20) ==\n{}", t.render());
+            t.write_csv(cli.out.join("ssd.csv")).expect("write csv");
+        }
+    }
+    eprintln!("done in {:?}; results under {}", t0.elapsed(), cli.out.display());
+}

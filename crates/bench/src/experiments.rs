@@ -1,0 +1,589 @@
+//! One function per paper table/figure. See `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+use crate::runner::{
+    measure_each, run_scheme, run_schemes_parallel, ExperimentParams, SchemeKind, SchemeStats,
+};
+use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
+use ftl::{FtlConfig, OrganizationScheme, Ssd, Workload};
+use pvcheck::assembly::Assembler;
+use pvcheck::{overhead, Characterizer};
+
+/// Result rows of Table I-style comparisons: every scheme with its
+/// reduction and improvement percentage against the random baseline.
+#[derive(Debug, Clone)]
+pub struct ComparisonResult {
+    /// The random baseline statistics.
+    pub baseline: SchemeStats,
+    /// Per-scheme statistics, in roster order.
+    pub schemes: Vec<SchemeStats>,
+}
+
+impl ComparisonResult {
+    /// Runs the given roster against the random baseline.
+    #[must_use]
+    pub fn run(params: &ExperimentParams, roster: &[SchemeKind]) -> Self {
+        let baseline = run_scheme(params, SchemeKind::Random);
+        let schemes = run_schemes_parallel(params, roster);
+        ComparisonResult { baseline, schemes }
+    }
+}
+
+/// Table I: the eight organization directions.
+#[must_use]
+pub fn table1(params: &ExperimentParams) -> ComparisonResult {
+    ComparisonResult::run(params, &SchemeKind::table1_roster())
+}
+
+/// Table II: STR-RANK under window sizes 8, 6, 4, 2.
+#[must_use]
+pub fn table2(params: &ExperimentParams) -> ComparisonResult {
+    let roster = [
+        SchemeKind::StrRank(8),
+        SchemeKind::StrRank(6),
+        SchemeKind::StrRank(4),
+        SchemeKind::StrRank(2),
+    ];
+    ComparisonResult::run(params, &roster)
+}
+
+/// Table V / Figure 12: the headline comparison (random, sequential,
+/// optimal, QSTR-MED(4), STR-MED(4)).
+#[must_use]
+pub fn table5(params: &ExperimentParams) -> ComparisonResult {
+    let roster = [
+        SchemeKind::Sequential,
+        SchemeKind::Optimal(8),
+        SchemeKind::QstrMed(4),
+        SchemeKind::StrMed(4),
+    ];
+    ComparisonResult::run(params, &roster)
+}
+
+/// Figure 5 data: characterization curves.
+#[derive(Debug, Clone)]
+pub struct Fig5Data {
+    /// `(chip, plane, block, tBERS µs)` per block.
+    pub erase_rows: Vec<(u16, u16, u32, f64)>,
+    /// `(chip, plane, block, lwl, tPROG µs)` for one block per plane.
+    pub program_rows: Vec<(u16, u16, u32, u32, f64)>,
+}
+
+/// Figure 5: per-block erase latency across two chips with four planes
+/// each, and per-word-line program latency for one block per plane.
+#[must_use]
+pub fn fig5(seed: u64, blocks_per_plane: u32) -> Fig5Data {
+    let config = FlashConfig::builder()
+        .chips(2)
+        .planes_per_chip(4)
+        .blocks_per_plane(blocks_per_plane)
+        .pwl_layers(96)
+        .strings(4)
+        .build();
+    let array = FlashArray::new(config.clone(), seed);
+    let model = array.latency_model();
+    let mut erase_rows = Vec::new();
+    let mut program_rows = Vec::new();
+    for addr in config.geometry.blocks() {
+        erase_rows.push((addr.chip.0, addr.plane.0, addr.block.0, model.erase_latency_us(addr, 0)));
+        if addr.block.0 == 25 {
+            for lwl in config.geometry.lwls() {
+                program_rows.push((
+                    addr.chip.0,
+                    addr.plane.0,
+                    addr.block.0,
+                    lwl.0,
+                    model.program_latency_us(addr.wl(lwl), 1),
+                ));
+            }
+        }
+    }
+    Fig5Data { erase_rows, program_rows }
+}
+
+/// Figure 6 data: extra latency of every random superblock.
+#[derive(Debug, Clone)]
+pub struct Fig6Data {
+    /// `(superblock index, extra PGM µs, extra ERS µs)` at P/E 0.
+    pub per_superblock: Vec<(usize, f64, f64)>,
+    /// `(P/E cycle, mean extra PGM µs, mean extra ERS µs)`.
+    pub per_pe: Vec<(u32, f64, f64)>,
+}
+
+/// Figure 6: the random baseline's extra latency per superblock, and its
+/// trend across P/E cycles.
+#[must_use]
+pub fn fig6(params: &ExperimentParams) -> Fig6Data {
+    let pool = &params.pools_at(params.pe_points[0])[0];
+    let sbs = SchemeKind::Random.assembler(params.group_seeds[0]).assemble(pool);
+    let per_superblock = measure_each(pool, &sbs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| (i, e.program_us, e.erase_us))
+        .collect();
+    let mut per_pe = Vec::new();
+    for &pe in &params.pe_points {
+        let single = ExperimentParams {
+            pe_points: vec![pe],
+            ..params.clone()
+        };
+        let stats = run_scheme(&single, SchemeKind::Random);
+        per_pe.push((pe, stats.extra_pgm_us, stats.extra_ers_us));
+    }
+    Fig6Data { per_superblock, per_pe }
+}
+
+/// A histogram of per-superblock extra program latency.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Scheme name.
+    pub name: String,
+    /// Bin width, µs.
+    pub bin_us: f64,
+    /// Count of superblocks per bin (bin i covers `[i*bin, (i+1)*bin)`).
+    pub counts: Vec<u32>,
+}
+
+/// Figure 13: distribution of extra program latency per scheme.
+#[must_use]
+pub fn fig13(params: &ExperimentParams, bin_us: f64) -> Vec<Histogram> {
+    let kinds =
+        [SchemeKind::Random, SchemeKind::Sequential, SchemeKind::Optimal(8), SchemeKind::QstrMed(4)];
+    let pe = params.pe_points[0];
+    let pools = params.pools_at(pe);
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut counts: Vec<u32> = Vec::new();
+            for (gi, pool) in pools.iter().enumerate() {
+                let sbs = kind.assembler(params.group_seeds[gi]).assemble(pool);
+                for e in measure_each(pool, &sbs) {
+                    let bin = (e.program_us / bin_us) as usize;
+                    if counts.len() <= bin {
+                        counts.resize(bin + 1, 0);
+                    }
+                    counts[bin] += 1;
+                }
+            }
+            Histogram { name: kind.name(), bin_us, counts }
+        })
+        .collect()
+}
+
+/// Figure 14 data: per-superblock extra program latency for STR-MED vs
+/// QSTR-MED (sorted ascending), showing their equivalence.
+#[derive(Debug, Clone)]
+pub struct Fig14Data {
+    /// `(rank, STR-MED extra PGM µs, QSTR-MED extra PGM µs, random µs)`.
+    pub rows: Vec<(usize, f64, f64, f64)>,
+}
+
+/// Figure 14: all superblocks, STR-MED(4) vs QSTR-MED(4).
+#[must_use]
+pub fn fig14(params: &ExperimentParams) -> Fig14Data {
+    let pool = &params.pools_at(params.pe_points[0])[0];
+    let sorted_extras = |kind: SchemeKind| -> Vec<f64> {
+        let sbs = kind.assembler(params.group_seeds[0]).assemble(pool);
+        let mut v: Vec<f64> = measure_each(pool, &sbs).iter().map(|e| e.program_us).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    };
+    let str_med = sorted_extras(SchemeKind::StrMed(4));
+    let qstr = sorted_extras(SchemeKind::QstrMed(4));
+    let random = sorted_extras(SchemeKind::Random);
+    let rows = str_med
+        .iter()
+        .zip(&qstr)
+        .zip(&random)
+        .enumerate()
+        .map(|(i, ((&s, &q), &r))| (i, s, q, r))
+        .collect();
+    Fig14Data { rows }
+}
+
+/// Figure 15 data: latency stability across P/E cycles.
+#[derive(Debug, Clone)]
+pub struct Fig15Data {
+    /// `(P/E, random extra PGM, QSTR extra PGM, random extra ERS, QSTR extra ERS)`.
+    pub rows: Vec<(u32, f64, f64, f64, f64)>,
+}
+
+/// Figure 15: QSTR-MED's extra latencies vs. the baseline across wear.
+#[must_use]
+pub fn fig15(params: &ExperimentParams, pe_points: &[u32]) -> Fig15Data {
+    let rows = pe_points
+        .iter()
+        .map(|&pe| {
+            let single = ExperimentParams { pe_points: vec![pe], ..params.clone() };
+            let rnd = run_scheme(&single, SchemeKind::Random);
+            let qstr = run_scheme(&single, SchemeKind::QstrMed(4));
+            (pe, rnd.extra_pgm_us, qstr.extra_pgm_us, rnd.extra_ers_us, qstr.extra_ers_us)
+        })
+        .collect();
+    Fig15Data { rows }
+}
+
+/// Overhead numbers (§VI-B-2, §VI-D, Equation 2).
+#[derive(Debug, Clone)]
+pub struct OverheadData {
+    /// STR-MED(4) distance checks per superblock on four pools.
+    pub str_med_checks: u64,
+    /// QSTR-MED(4) distance checks per superblock on four pools.
+    pub qstr_med_checks: u64,
+    /// Reduction percentage.
+    pub reduction_pct: f64,
+    /// `(drive capacity bytes, block bytes, LWLs, metadata bytes)` rows.
+    pub space_rows: Vec<(u64, u64, u32, u64)>,
+    /// Measured distance checks per assembled superblock from a QSTR run.
+    pub measured_checks_per_superblock: f64,
+}
+
+/// Computing- and space-overhead analysis.
+#[must_use]
+pub fn overhead_analysis(params: &ExperimentParams) -> OverheadData {
+    let pool = &params.pools_at(params.pe_points[0])[0];
+    let mut qstr = pvcheck::assembly::QstrMed::with_candidates(4);
+    let sbs = qstr.assemble(pool);
+    let measured = qstr.distance_checks() as f64 / sbs.len().max(1) as f64;
+    let space_rows = vec![
+        (1 << 40, 8 << 20, 384, overhead::drive_footprint_bytes(1 << 40, 8 << 20, 384)),
+        (2 << 40, 8 << 20, 384, overhead::drive_footprint_bytes(2 << 40, 8 << 20, 384)),
+        (1 << 40, 16 << 20, 768, overhead::drive_footprint_bytes(1 << 40, 16 << 20, 768)),
+    ];
+    OverheadData {
+        str_med_checks: overhead::str_med_distance_checks(4, 4),
+        qstr_med_checks: overhead::qstr_med_distance_checks(4, 4),
+        reduction_pct: overhead::check_reduction_percent(4, 4, 4),
+        space_rows,
+        measured_checks_per_superblock: measured,
+    }
+}
+
+/// End-to-end SSD comparison rows.
+#[derive(Debug, Clone)]
+pub struct SsdRow {
+    /// Organization scheme name.
+    pub scheme: String,
+    /// Mean host write latency, µs.
+    pub write_mean_us: f64,
+    /// 99th-percentile host write latency, µs.
+    pub write_p99_us: f64,
+    /// Write amplification factor.
+    pub waf: f64,
+    /// Mean extra program latency per super word-line program, µs.
+    pub extra_pgm_per_op_us: f64,
+    /// Mean extra erase latency per superblock erase, µs.
+    pub extra_ers_per_op_us: f64,
+    /// Total device busy time, µs.
+    pub busy_us: f64,
+    /// QSTR-MED distance checks (0 for other schemes).
+    pub distance_checks: u64,
+}
+
+/// §V-D end-to-end: the same workload against random, sequential and
+/// QSTR-MED organization with function-based placement.
+///
+/// # Panics
+///
+/// Panics if the simulated device rejects the workload (an internal bug).
+#[must_use]
+pub fn ssd_experiment(geometry: &Geometry, writes: usize, seed: u64) -> Vec<SsdRow> {
+    let schemes = [
+        OrganizationScheme::Random,
+        OrganizationScheme::Sequential,
+        OrganizationScheme::QstrMed { candidates: 4 },
+    ];
+    schemes
+        .iter()
+        .map(|&scheme| {
+            let config = FtlConfig {
+                flash: FlashConfig {
+                    geometry: geometry.clone(),
+                    variation: flash_model::VariationConfig::default(),
+                },
+                scheme,
+                ..FtlConfig::small_test()
+            };
+            let mut ssd = Ssd::new(config, seed).expect("experiment config is valid");
+            let reqs =
+                Workload::hot_cold_80_20().generate(&ssd.geometry_info(), writes, seed ^ 0xabc);
+            ssd.run(&reqs).expect("workload fits the device");
+            let stats = ssd.stats();
+            SsdRow {
+                scheme: format!("{scheme:?}"),
+                write_mean_us: stats.write_latency.mean_us(),
+                write_p99_us: stats.write_latency.quantile_us(0.99),
+                waf: stats.waf(),
+                extra_pgm_per_op_us: stats.extra_program_per_op_us(),
+                extra_ers_per_op_us: stats.extra_erase_per_op_us(),
+                busy_us: stats.busy_us,
+                distance_checks: ssd.distance_checks(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: how much each variation source contributes to the random
+/// baseline's extra latency (model-level ablation, unique to this repro).
+#[must_use]
+pub fn ablation(params: &ExperimentParams) -> Vec<(String, f64, f64)> {
+    let mut rows = Vec::new();
+    let run_with = |cfg: flash_model::VariationConfig, name: &str| {
+        let p = ExperimentParams {
+            config: FlashConfig { geometry: params.config.geometry.clone(), variation: cfg },
+            ..params.clone()
+        };
+        let s = run_scheme(&p, SchemeKind::Random);
+        (name.to_string(), s.extra_pgm_us, s.extra_ers_us)
+    };
+    let base = params.config.variation.clone();
+    rows.push(run_with(base.clone(), "full model"));
+    rows.push(run_with(
+        flash_model::VariationConfig { pattern_penalty_us: 0.0, ..base.clone() },
+        "no string patterns",
+    ));
+    rows.push(run_with(
+        flash_model::VariationConfig { block_sigma_us: 0.0, outlier_prob: 0.0, ..base.clone() },
+        "no block speed variation",
+    ));
+    rows.push(run_with(
+        flash_model::VariationConfig { noise_sigma_us: 0.0, ..base.clone() },
+        "no per-WL noise",
+    ));
+    rows.push(run_with(
+        flash_model::VariationConfig { layer_group_sigma_us: 0.0, chip_offset_sigma_us: 0.0, ..base },
+        "no chip profile variation",
+    ));
+    rows
+}
+
+/// Ablation: QSTR-MED candidate-list depth (the paper fixes 4; this sweeps
+/// 1..=8 to show the knee). Returns `(candidates, extra PGM µs, checks per
+/// superblock)`.
+#[must_use]
+pub fn qstr_candidate_sweep(params: &ExperimentParams) -> Vec<(usize, f64, f64)> {
+    let pools = params.pools_at(params.pe_points[0]);
+    (1..=8)
+        .map(|c| {
+            let mut pgm = 0.0;
+            let mut n = 0usize;
+            let mut checks = 0u64;
+            for pool in &pools {
+                let mut q = pvcheck::assembly::QstrMed::with_candidates(c);
+                let sbs = q.assemble(pool);
+                for e in measure_each(pool, &sbs) {
+                    pgm += e.program_us;
+                }
+                n += sbs.len();
+                checks += q.distance_checks();
+            }
+            (c, pgm / n.max(1) as f64, checks as f64 / n.max(1) as f64)
+        })
+        .collect()
+}
+
+/// Ablation: how strongly the erase-program correlation channel drives the
+/// Table V erase improvements. Sweeps the model's `ers_pgm_corr` and
+/// reports QSTR-MED's extra erase latency vs. the random baseline.
+#[must_use]
+pub fn ers_corr_ablation(params: &ExperimentParams) -> Vec<(f64, f64, f64)> {
+    [0.0, 0.5, 0.8, 0.97]
+        .iter()
+        .map(|&corr| {
+            let variation = flash_model::VariationConfig {
+                ers_pgm_corr: corr,
+                ..params.config.variation.clone()
+            };
+            let p = ExperimentParams {
+                config: FlashConfig { geometry: params.config.geometry.clone(), variation },
+                ..params.clone()
+            };
+            let rnd = run_scheme(&p, SchemeKind::Random);
+            let qstr = run_scheme(&p, SchemeKind::QstrMed(4));
+            (corr, rnd.extra_ers_us, qstr.extra_ers_us)
+        })
+        .collect()
+}
+
+/// §III characterization statistics: per-pool means/spreads, the
+/// erase-program correlation and the same-offset similarity premise.
+#[must_use]
+pub fn pool_stats(params: &ExperimentParams) -> pvcheck::analysis::PoolStatistics {
+    let pool = &params.pools_at(params.pe_points[0])[0];
+    pvcheck::analysis::pool_statistics(pool)
+}
+
+/// Read-retry sensitivity (§VI-C's failure-rate axis): mean page-read
+/// latency and retry rounds as wear and retention grow.
+/// Returns `(pe, retention_hours, mean read µs, mean retries)`.
+#[must_use]
+pub fn retry_sensitivity(seed: u64) -> Vec<(u32, f64, f64, f64)> {
+    let config = FlashConfig::builder().blocks_per_plane(16).pwl_layers(24).build();
+    let retry = flash_model::RetryModel::default();
+    let mut out = Vec::new();
+    for &(pe, retention) in
+        &[(0u32, 0.0f64), (1000, 1000.0), (3000, 1000.0), (3000, 10_000.0), (8000, 10_000.0)]
+    {
+        let mut array = FlashArray::new(config.clone(), seed);
+        let payload = vec![0u64; config.geometry.pages_per_lwl() as usize];
+        let mut total_lat = 0.0;
+        let mut total_retries = 0.0;
+        let mut n = 0u32;
+        for addr in config.geometry.blocks().take(16) {
+            array.age_block(addr, pe).expect("address in range");
+            array.erase_block(addr).expect("erase");
+            for lwl in config.geometry.lwls().take(8) {
+                array.program_wl(addr.wl(lwl), &payload).expect("program");
+            }
+            for lwl in config.geometry.lwls().take(8) {
+                let page = addr.wl(lwl).page(flash_model::PageType::Lsb);
+                let (_, lat, retries) = array
+                    .read_page_with_retries(page, retention, &retry)
+                    .expect("page was programmed");
+                total_lat += lat;
+                total_retries += f64::from(retries);
+                n += 1;
+            }
+        }
+        out.push((pe, retention, total_lat / f64::from(n), total_retries / f64::from(n)));
+    }
+    out
+}
+
+/// Sanity helper for Figure 5's "fast strings really are faster" claim:
+/// mean tPROG split by the model's fast/slow string marking.
+#[must_use]
+pub fn string_speed_split(seed: u64) -> (f64, f64) {
+    let config = FlashConfig::small_test();
+    let array = FlashArray::new(config.clone(), seed);
+    let model = array.latency_model();
+    let geo = &config.geometry;
+    let (mut fast, mut nfast, mut slow, mut nslow) = (0.0, 0u32, 0.0, 0u32);
+    for addr in geo.blocks().take(32) {
+        for l in 0..geo.pwl_layers() {
+            let mask = model.fast_strings(addr, PwlLayer(l));
+            for s in 0..geo.strings() {
+                let t = model.program_latency_us(addr.wl(geo.lwl_of(PwlLayer(l), StringId(s))), 0);
+                if mask.contains(s) {
+                    fast += t;
+                    nfast += 1;
+                } else {
+                    slow += t;
+                    nslow += 1;
+                }
+            }
+        }
+    }
+    (fast / f64::from(nfast), slow / f64::from(nslow))
+}
+
+/// The quick pool used by doc examples and smoke tests.
+#[must_use]
+pub fn quick_pool(params: &ExperimentParams) -> pvcheck::BlockPool {
+    let array = FlashArray::new(params.config.clone(), params.group_seeds[0]);
+    Characterizer::new(&params.config).snapshot(array.latency_model(), params.pe_points[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_runs_quickly_on_small_params() {
+        let params = ExperimentParams::quick();
+        let r = table2(&params);
+        assert_eq!(r.schemes.len(), 4);
+        for s in &r.schemes {
+            assert!(s.extra_pgm_us <= r.baseline.extra_pgm_us * 1.05, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fig5_produces_curves() {
+        let d = fig5(1, 64);
+        assert_eq!(d.erase_rows.len(), 2 * 4 * 64);
+        assert_eq!(d.program_rows.len(), 2 * 4 * 384);
+        assert!(d.erase_rows.iter().all(|&(_, _, _, t)| t > 0.0));
+    }
+
+    #[test]
+    fn fig6_reports_every_superblock() {
+        let params = ExperimentParams::quick();
+        let d = fig6(&params);
+        assert_eq!(d.per_superblock.len(), 96);
+        assert_eq!(d.per_pe.len(), 1);
+    }
+
+    #[test]
+    fn fig13_histograms_cover_all_superblocks() {
+        let params = ExperimentParams::quick();
+        let hists = fig13(&params, 1000.0);
+        for h in &hists {
+            let total: u32 = h.counts.iter().sum();
+            assert_eq!(total, 96, "{}", h.name);
+        }
+    }
+
+    #[test]
+    fn fig14_curves_align() {
+        let params = ExperimentParams::quick();
+        let d = fig14(&params);
+        assert_eq!(d.rows.len(), 96);
+        // Sorted ascending.
+        assert!(d.rows.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn overhead_matches_paper_constants() {
+        let params = ExperimentParams::quick();
+        let o = overhead_analysis(&params);
+        assert_eq!(o.str_med_checks, 1536);
+        assert_eq!(o.qstr_med_checks, 12);
+        assert!((o.reduction_pct - 99.22).abs() < 0.01);
+        assert!(o.measured_checks_per_superblock <= 12.0);
+    }
+
+    #[test]
+    fn string_split_shows_pattern() {
+        let (fast, slow) = string_speed_split(3);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn candidate_sweep_improves_then_plateaus() {
+        let params = ExperimentParams::quick();
+        let rows = qstr_candidate_sweep(&params);
+        assert_eq!(rows.len(), 8);
+        // Deeper candidate lists never cost accuracy catastrophically and
+        // check counts grow linearly.
+        assert!(rows[7].1 <= rows[0].1 * 1.02, "c=8 {} vs c=1 {}", rows[7].1, rows[0].1);
+        assert!(rows[7].2 > rows[0].2);
+    }
+
+    #[test]
+    fn ers_corr_drives_erase_gains() {
+        let params = ExperimentParams::quick();
+        let rows = ers_corr_ablation(&params);
+        let gain = |r: &(f64, f64, f64)| r.1 - r.2;
+        // With zero correlation QSTR-MED cannot unify erase latency; with
+        // the calibrated correlation it clearly can.
+        assert!(gain(&rows[3]) > gain(&rows[0]) + 1.0, "{rows:?}");
+    }
+
+    #[test]
+    fn pool_stats_reflect_model_structure() {
+        let params = ExperimentParams::quick();
+        let stats = pool_stats(&params);
+        assert!(stats.bers_pgm_correlation > 0.2);
+        assert!(stats.offset_similarity_holds());
+    }
+
+    #[test]
+    fn retry_sensitivity_grows_with_wear() {
+        let rows = retry_sensitivity(5);
+        let fresh = rows[0];
+        let worn = *rows.last().unwrap();
+        assert!(worn.2 > fresh.2, "read latency should grow: {fresh:?} -> {worn:?}");
+        assert!(worn.3 > 0.0, "worn pages should retry");
+    }
+}

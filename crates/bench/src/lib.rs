@@ -1,0 +1,18 @@
+//! # repro-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation. Each `run_*` function returns typed rows; the `repro` binary
+//! renders them as text tables and CSV files under `results/`.
+//!
+//! The paper's platform has 24 chips measured as groups of four pools
+//! (§VI-A); we mirror that by averaging several independently seeded 4-pool
+//! groups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use runner::{ExperimentParams, SchemeKind, SchemeStats};

@@ -1,0 +1,161 @@
+//! Plain-text tables and CSV emission for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a microsecond value the way the paper prints them (thousands
+/// separators, two decimals): `13,084.17`.
+#[must_use]
+pub fn us(v: f64) -> String {
+    let negative = v < 0.0;
+    let v_abs = v.abs();
+    let whole = v_abs.trunc() as u64;
+    let frac = ((v_abs - whole as f64) * 100.0).round() as u64;
+    // Rounding can carry into the integer part.
+    let (whole, frac) = if frac == 100 { (whole + 1, 0) } else { (whole, frac) };
+    let mut digits = whole.to_string();
+    let mut grouped = String::new();
+    while digits.len() > 3 {
+        let rest = digits.split_off(digits.len() - 3);
+        grouped = if grouped.is_empty() { rest } else { format!("{rest},{grouped}") };
+    }
+    grouped = if grouped.is_empty() { digits } else { format!("{digits},{grouped}") };
+    format!("{}{grouped}.{frac:02}", if negative { "-" } else { "" })
+}
+
+/// Formats a percentage with two decimals: `16.61%`.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["Method", "LTN"]);
+        t.row(["Random", "13,084.17"]);
+        t.row(["QSTR-MED(4)", "10,911.53"]);
+        let s = t.render();
+        assert!(s.contains("Method"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["1,5"]);
+        assert_eq!(t.to_csv(), "a\n\"1,5\"\n");
+    }
+
+    #[test]
+    fn us_formats_like_the_paper() {
+        assert_eq!(us(13084.17), "13,084.17");
+        assert_eq!(us(41.71), "41.71");
+        assert_eq!(us(639290.1), "639,290.10");
+        assert_eq!(us(0.0), "0.00");
+        assert_eq!(us(999.999), "1,000.00");
+        assert_eq!(us(-12.5), "-12.50");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(16.608), "16.61%");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only"]);
+        assert!(t.render().contains("only"));
+    }
+}

@@ -1,0 +1,382 @@
+//! Statistics over characterized pools: the quantitative counterparts of
+//! the paper's §III observations (process variation across chips, process
+//! similarity within chips and at equal block offsets).
+//!
+//! ```
+//! use flash_model::{FlashArray, FlashConfig};
+//! use pvcheck::{analysis, Characterizer};
+//!
+//! let config = FlashConfig::small_test();
+//! let array = FlashArray::new(config.clone(), 1);
+//! let pool = Characterizer::new(&config).snapshot(array.latency_model(), 0);
+//! let stats = analysis::pool_statistics(&pool);
+//! assert!(stats.bers_pgm_correlation > 0.0);
+//! let decomp = analysis::variance_decomposition(&pool);
+//! let (chips, blocks, within) = decomp.fractions();
+//! assert!((chips + blocks + within - 1.0).abs() < 1e-9);
+//! ```
+
+use crate::profile::BlockPool;
+use crate::rank;
+
+/// Summary statistics of one chip pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSummary {
+    /// Mean block program-latency sum, µs.
+    pub mean_pgm_sum_us: f64,
+    /// Standard deviation of block program-latency sums, µs.
+    pub std_pgm_sum_us: f64,
+    /// Mean block erase latency, µs.
+    pub mean_tbers_us: f64,
+    /// Standard deviation of block erase latencies, µs.
+    pub std_tbers_us: f64,
+}
+
+/// Statistics over a whole characterized pool set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolStatistics {
+    /// Per-pool summaries.
+    pub per_pool: Vec<PoolSummary>,
+    /// Pearson correlation between a block's erase latency and its program
+    /// latency sum (the channel that lets program-sorted assemblies unify
+    /// erase latency, Table V).
+    pub bers_pgm_correlation: f64,
+    /// Mean eigen distance between blocks *at the same index* on different
+    /// chips, normalized by word-line count.
+    pub same_offset_eigen_distance: f64,
+    /// Mean eigen distance between *randomly paired* blocks on different
+    /// chips, normalized by word-line count.
+    pub random_pair_eigen_distance: f64,
+}
+
+impl PoolStatistics {
+    /// Whether same-offset blocks are measurably more similar than random
+    /// pairs — the premise of sequential assembly (§IV-A-1).
+    #[must_use]
+    pub fn offset_similarity_holds(&self) -> bool {
+        self.same_offset_eigen_distance < self.random_pair_eigen_distance
+    }
+}
+
+/// Pearson correlation coefficient; 0 for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation needs paired samples");
+    let n = a.len() as f64;
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+fn mean_std(values: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+    let n = values.clone().count() as f64;
+    if n == 0.0 {
+        return (0.0, 0.0);
+    }
+    let mean = values.clone().sum::<f64>() / n;
+    let var = values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Computes [`PoolStatistics`] for a characterized pool set.
+///
+/// # Panics
+///
+/// Panics if the pool is empty.
+#[must_use]
+pub fn pool_statistics(pool: &BlockPool) -> PoolStatistics {
+    assert!(!pool.is_empty(), "cannot analyze an empty pool");
+    let per_pool = (0..pool.pool_count())
+        .map(|p| {
+            let blocks = pool.pool(p);
+            let (mean_pgm, std_pgm) = mean_std(blocks.iter().map(|b| b.pgm_sum_us()));
+            let (mean_ers, std_ers) = mean_std(blocks.iter().map(|b| b.tbers_us()));
+            PoolSummary {
+                mean_pgm_sum_us: mean_pgm,
+                std_pgm_sum_us: std_pgm,
+                mean_tbers_us: mean_ers,
+                std_tbers_us: std_ers,
+            }
+        })
+        .collect();
+
+    let pgm: Vec<f64> = pool.iter().map(|b| b.pgm_sum_us()).collect();
+    let ers: Vec<f64> = pool.iter().map(|b| b.tbers_us()).collect();
+    let bers_pgm_correlation = pearson(&pgm, &ers);
+
+    // Eigen similarity: same-offset pairs vs index-shifted pairs between
+    // pool 0 and each other pool.
+    let strings = pool.strings();
+    let wl = pool.wl_count().max(1) as f64;
+    let eigens: Vec<Vec<crate::EigenSequence>> = (0..pool.pool_count())
+        .map(|p| {
+            pool.pool(p).iter().map(|b| rank::str_median_eigen(b.tprog_us(), strings)).collect()
+        })
+        .collect();
+    let mut same = (0.0, 0u64);
+    let mut random = (0.0, 0u64);
+    let base = &eigens[0];
+    for other in eigens.iter().skip(1) {
+        let n = base.len().min(other.len());
+        for i in 0..n {
+            same.0 += f64::from(base[i].distance(&other[i])) / wl;
+            same.1 += 1;
+            // A deterministic "random" partner: offset by roughly half the
+            // pool (breaks any index correlation).
+            let j = (i + n / 2 + 1) % n;
+            random.0 += f64::from(base[i].distance(&other[j])) / wl;
+            random.1 += 1;
+        }
+    }
+    PoolStatistics {
+        per_pool,
+        bers_pgm_correlation,
+        same_offset_eigen_distance: if same.1 > 0 { same.0 / same.1 as f64 } else { 0.0 },
+        random_pair_eigen_distance: if random.1 > 0 { random.0 / random.1 as f64 } else { 0.0 },
+    }
+}
+
+/// Mean program latency per logical word-line across every block of one
+/// pool — the aggregated word-line profile of the paper's Figure 5
+/// (bottom). Chip-to-chip differences in this curve are the irreducible
+/// floor of superblock organization.
+///
+/// # Panics
+///
+/// Panics if the pool index is out of range or the pool is empty.
+#[must_use]
+pub fn layer_profile(pool: &BlockPool, pool_idx: usize) -> Vec<f64> {
+    let blocks = pool.pool(pool_idx);
+    assert!(!blocks.is_empty(), "pool {pool_idx} is empty");
+    let wl = blocks[0].wl_count();
+    let mut acc = vec![0.0f64; wl];
+    for b in blocks {
+        for (a, t) in acc.iter_mut().zip(b.tprog_us()) {
+            *a += t;
+        }
+    }
+    for a in &mut acc {
+        *a /= blocks.len() as f64;
+    }
+    acc
+}
+
+/// Nested variance decomposition of word-line program latencies: how much
+/// of the total spread lives between chips, between blocks within a chip,
+/// and within a block — the quantitative version of §III's "process
+/// variation across chips, process similarity within".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarianceDecomposition {
+    /// Variance of pool means around the grand mean, µs².
+    pub between_pools_us2: f64,
+    /// Mean variance of block means around their pool mean, µs².
+    pub between_blocks_us2: f64,
+    /// Mean variance of word-line latencies around their block mean, µs².
+    pub within_blocks_us2: f64,
+}
+
+impl VarianceDecomposition {
+    /// Total variance (sum of the components), µs².
+    #[must_use]
+    pub fn total_us2(&self) -> f64 {
+        self.between_pools_us2 + self.between_blocks_us2 + self.within_blocks_us2
+    }
+
+    /// Fraction of variance attributable to each level:
+    /// `(between pools, between blocks, within blocks)`.
+    #[must_use]
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_us2();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (self.between_pools_us2 / t, self.between_blocks_us2 / t, self.within_blocks_us2 / t)
+    }
+}
+
+/// Computes the nested variance decomposition over all profiles.
+///
+/// # Panics
+///
+/// Panics if the pool is empty.
+#[must_use]
+pub fn variance_decomposition(pool: &BlockPool) -> VarianceDecomposition {
+    assert!(!pool.is_empty(), "cannot analyze an empty pool");
+    let grand_mean = {
+        let (sum, n) = pool
+            .iter()
+            .flat_map(|b| b.tprog_us().iter().copied())
+            .fold((0.0, 0u64), |(s, n), v| (s + v, n + 1));
+        sum / n as f64
+    };
+    let mut between_pools = 0.0;
+    let mut between_blocks = 0.0;
+    let mut within_blocks = 0.0;
+    let mut pools_counted = 0u32;
+    for p in 0..pool.pool_count() {
+        let blocks = pool.pool(p);
+        if blocks.is_empty() {
+            continue;
+        }
+        pools_counted += 1;
+        let block_means: Vec<f64> =
+            blocks.iter().map(|b| b.pgm_sum_us() / b.wl_count() as f64).collect();
+        let pool_mean = block_means.iter().sum::<f64>() / block_means.len() as f64;
+        between_pools += (pool_mean - grand_mean) * (pool_mean - grand_mean);
+        between_blocks += block_means
+            .iter()
+            .map(|m| (m - pool_mean) * (m - pool_mean))
+            .sum::<f64>()
+            / block_means.len() as f64;
+        within_blocks += blocks
+            .iter()
+            .zip(&block_means)
+            .map(|(b, &m)| {
+                b.tprog_us().iter().map(|t| (t - m) * (t - m)).sum::<f64>()
+                    / b.wl_count() as f64
+            })
+            .sum::<f64>()
+            / blocks.len() as f64;
+    }
+    let p = f64::from(pools_counted.max(1));
+    VarianceDecomposition {
+        between_pools_us2: between_pools / p,
+        between_blocks_us2: between_blocks / p,
+        within_blocks_us2: within_blocks / p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BlockProfile;
+    use flash_model::{BlockAddr, BlockId, ChipId, FlashArray, FlashConfig, PlaneId};
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_inverted_series_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn statistics_on_the_calibrated_model() {
+        let config = FlashConfig::builder().blocks_per_plane(128).pwl_layers(24).build();
+        let array = FlashArray::new(config.clone(), 3);
+        let pool = crate::Characterizer::new(&config).snapshot(array.latency_model(), 0);
+        let stats = pool_statistics(&pool);
+        assert_eq!(stats.per_pool.len(), 4);
+        // The model's erase-program correlation channel must be visible.
+        assert!(stats.bers_pgm_correlation > 0.3, "corr {}", stats.bers_pgm_correlation);
+        // Same-offset blocks share pattern families more often than random
+        // pairs — sequential assembly's premise.
+        assert!(stats.offset_similarity_holds(), "{stats:?}");
+        for p in &stats.per_pool {
+            assert!(p.mean_pgm_sum_us > 0.0 && p.std_pgm_sum_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn handles_single_block_pools() {
+        let mut pool = BlockPool::new(2, 4);
+        for c in 0..2 {
+            let addr = BlockAddr::new(ChipId(c), PlaneId(0), BlockId(0));
+            pool.push(c as usize, BlockProfile::new(addr, 0, vec![1.0; 8], 10.0)).unwrap();
+        }
+        let stats = pool_statistics(&pool);
+        assert_eq!(stats.per_pool[0].std_pgm_sum_us, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_pool_panics() {
+        let _ = pool_statistics(&BlockPool::new(0, 4));
+    }
+
+    #[test]
+    fn layer_profile_averages_blocks() {
+        let mut pool = BlockPool::new(1, 4);
+        for b in 0..2u32 {
+            let addr = BlockAddr::new(ChipId(0), PlaneId(0), BlockId(b));
+            let t: Vec<f64> = (0..8).map(|w| f64::from(w + b * 8)).collect();
+            pool.push(0, BlockProfile::new(addr, 0, t, 10.0)).unwrap();
+        }
+        let prof = layer_profile(&pool, 0);
+        assert_eq!(prof.len(), 8);
+        // Mean of w and w+8 is w+4.
+        assert_eq!(prof[0], 4.0);
+        assert_eq!(prof[7], 11.0);
+    }
+
+    #[test]
+    fn layer_profiles_differ_between_chips() {
+        let config = FlashConfig::builder().blocks_per_plane(64).pwl_layers(24).build();
+        let array = FlashArray::new(config.clone(), 3);
+        let pool = crate::Characterizer::new(&config).snapshot(array.latency_model(), 0);
+        let a = layer_profile(&pool, 0);
+        let b = layer_profile(&pool, 1);
+        let diff: f64 =
+            a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
+        assert!(diff > 1.0, "chip profiles should differ, mean |Δ| = {diff}");
+    }
+
+    #[test]
+    fn variance_decomposition_sums_and_normalizes() {
+        let config = FlashConfig::builder().blocks_per_plane(64).pwl_layers(24).build();
+        let array = FlashArray::new(config.clone(), 7);
+        let pool = crate::Characterizer::new(&config).snapshot(array.latency_model(), 0);
+        let d = variance_decomposition(&pool);
+        assert!(d.total_us2() > 0.0);
+        let (a, b, c) = d.fractions();
+        assert!((a + b + c - 1.0).abs() < 1e-9);
+        // In the calibrated model most per-WL variance is within-block
+        // (layer curve + patterns + noise), with real between-block and
+        // between-chip components on top.
+        assert!(c > a && c > b, "{d:?}");
+        assert!(a > 0.0 && b > 0.0);
+    }
+
+    #[test]
+    fn variance_decomposition_of_identical_blocks_is_flat() {
+        let mut pool = BlockPool::new(2, 4);
+        for c in 0..2u16 {
+            for b in 0..3u32 {
+                let addr = BlockAddr::new(ChipId(c), PlaneId(0), BlockId(b));
+                pool.push(c as usize, BlockProfile::new(addr, 0, vec![5.0; 8], 10.0)).unwrap();
+            }
+        }
+        let d = variance_decomposition(&pool);
+        assert_eq!(d.total_us2(), 0.0);
+        assert_eq!(d.fractions(), (0.0, 0.0, 0.0));
+    }
+}

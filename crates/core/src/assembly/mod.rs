@@ -1,0 +1,141 @@
+//! Superblock organization schemes: the eight directions of §IV plus the
+//! practical runtime scheme QSTR-MED of §V.
+//!
+//! Every scheme implements [`Assembler`]: given a [`BlockPool`] it returns a
+//! list of superblocks, each taking exactly one block from every pool.
+//!
+//! | Scheme | Paper name | Idea |
+//! |---|---|---|
+//! | [`RandomAssembly`] | Random | the baseline: arbitrary grouping |
+//! | [`SequentialAssembly`] | Sequential | same block offset on every chip |
+//! | [`LatencySortAssembly`] | ERS-LTN / PGM-LTN | sort pools by a latency key and zip |
+//! | [`OptimalAssembly`] | Optimal(w) | windowed brute force minimizing actual extra program latency |
+//! | [`RankAssembly`] | LWL/PWL/STR-RANK(w), STR-MED(w) | windowed brute force minimizing Equation-1 rank distance |
+//! | [`QstrMed`] | QSTR-MED | reference-block eigen matching over sorted lists, on demand |
+
+mod by_latency;
+mod optimal;
+mod qstr_med;
+mod random;
+mod rank_based;
+mod sequential;
+mod windowed;
+
+pub use by_latency::{LatencySortAssembly, SortKey};
+pub use optimal::OptimalAssembly;
+pub use qstr_med::QstrMed;
+pub use random::RandomAssembly;
+pub use rank_based::{RankAssembly, RankStrategy};
+pub use sequential::SequentialAssembly;
+
+pub use crate::superblock::SpeedClass;
+
+use crate::profile::BlockPool;
+use crate::superblock::Superblock;
+
+/// A superblock organization scheme.
+pub trait Assembler {
+    /// Human-readable name, e.g. `"STR-RANK(8)"`.
+    fn name(&self) -> String;
+
+    /// Organizes the pool into superblocks (one member per pool each).
+    ///
+    /// Emits [`BlockPool::min_pool_len`] superblocks; surplus blocks in
+    /// larger pools are left unused, mirroring the paper's equally-sized
+    /// chip groups.
+    fn assemble(&mut self, pool: &BlockPool) -> Vec<Superblock>;
+}
+
+/// Zips per-pool orderings into superblocks: the shared tail of the
+/// sequential and latency-sorted assemblies.
+pub(crate) fn zip_orderings(pool: &BlockPool, orderings: Vec<Vec<usize>>) -> Vec<Superblock> {
+    let count = pool.min_pool_len();
+    (0..count)
+        .map(|i| {
+            Superblock::new(
+                orderings
+                    .iter()
+                    .enumerate()
+                    .map(|(p, order)| pool.pool(p)[order[i]].addr())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::profile::{BlockPool, BlockProfile};
+    use flash_model::{BlockAddr, BlockId, ChipId, PlaneId};
+
+    /// A small deterministic pool: `pools` pools of `blocks` blocks with
+    /// `lwls` word-lines whose latencies vary by block and word-line.
+    pub fn synthetic_pool(pools: usize, blocks: usize, lwls: usize) -> BlockPool {
+        let mut pool = BlockPool::new(pools, 4);
+        for p in 0..pools {
+            for b in 0..blocks {
+                let addr = BlockAddr::new(ChipId(p as u16), PlaneId(0), BlockId(b as u32));
+                let tprog: Vec<f64> = (0..lwls)
+                    .map(|w| {
+                        1700.0
+                            + 18.4 * f64::from(((p * 7 + b * 13 + w * 3) % 5) as u32)
+                            + f64::from(((b * 31 + w * 17) % 7) as u32)
+                    })
+                    .collect();
+                let tbers = 3500.0 + f64::from(((p * 11 + b * 23) % 9) as u32) * 10.0;
+                pool.push(p, BlockProfile::new(addr, 0, tprog, tbers)).unwrap();
+            }
+        }
+        pool
+    }
+
+    /// Asserts the basic contract: right count, one member per pool, no
+    /// member reused across superblocks.
+    pub fn assert_valid_assembly(pool: &BlockPool, sbs: &[crate::Superblock]) {
+        assert_eq!(sbs.len(), pool.min_pool_len());
+        let mut seen = std::collections::HashSet::new();
+        for sb in sbs {
+            assert_eq!(sb.members.len(), pool.pool_count());
+            let mut pools_used = std::collections::HashSet::new();
+            for &m in &sb.members {
+                assert!(seen.insert(m), "block {m} reused");
+                let p = pool.pool_of(m).expect("member must come from the pool");
+                assert!(pools_used.insert(p), "pool {p} used twice in one superblock");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn zip_orderings_respects_pool_order() {
+        let pool = synthetic_pool(3, 4, 8);
+        let orderings = vec![vec![0, 1, 2, 3]; 3];
+        let sbs = zip_orderings(&pool, orderings);
+        assert_valid_assembly(&pool, &sbs);
+        assert_eq!(sbs[2].members[1], pool.pool(1)[2].addr());
+    }
+
+    #[test]
+    fn zip_orderings_clamps_to_smallest_pool() {
+        let mut pool = synthetic_pool(2, 3, 8);
+        // Add an extra block to pool 0 only.
+        let extra = crate::BlockProfile::new(
+            flash_model::BlockAddr::new(
+                flash_model::ChipId(0),
+                flash_model::PlaneId(0),
+                flash_model::BlockId(99),
+            ),
+            0,
+            vec![1.0; 8],
+            1.0,
+        );
+        pool.push(0, extra).unwrap();
+        let sbs = zip_orderings(&pool, vec![vec![0, 1, 2, 3], vec![0, 1, 2]]);
+        assert_eq!(sbs.len(), 3);
+    }
+}

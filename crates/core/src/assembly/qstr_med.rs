@@ -1,0 +1,329 @@
+//! QSTR-MED (§V): the practical, on-demand superblock organizer.
+//!
+//! Instead of enumerating every window combination (1,536 distance checks
+//! for STR-MED with window 4 on four pools), QSTR-MED:
+//!
+//! 1. keeps each pool's free blocks in a sorted program-latency list;
+//! 2. on a *fast* request, takes the globally fastest head block as the
+//!    reference (on a *slow* request, the globally slowest tail block);
+//! 3. in each other pool, XOR-compares the reference's eigen sequence
+//!    against only the `candidates` head (or tail) blocks and keeps the
+//!    closest — 12 checks for four pools and four candidates, a 99.22 %
+//!    reduction.
+
+use crate::assembly::Assembler;
+use crate::eigen::EigenSequence;
+use crate::profile::{BlockPool, BlockSummary};
+use crate::sorted_list::SortedLatencyList;
+use crate::superblock::{SpeedClass, Superblock};
+use flash_model::BlockAddr;
+use std::collections::HashMap;
+
+/// The QSTR-MED runtime state: sorted lists plus the eigen store.
+///
+/// Use [`QstrMed::insert`] as blocks close (fed by
+/// [`gather::BlockGatherer`](crate::gather::BlockGatherer)) and
+/// [`QstrMed::assemble_on_demand`] when the FTL needs a superblock. The
+/// [`Assembler`] impl loads a whole characterized pool and drains it
+/// fastest-first for batch experiments.
+///
+/// ```
+/// use flash_model::{FlashArray, FlashConfig};
+/// use pvcheck::assembly::QstrMed;
+/// use pvcheck::{Characterizer, SpeedClass};
+///
+/// let config = FlashConfig::small_test();
+/// let array = FlashArray::new(config.clone(), 9);
+/// let pool = Characterizer::new(&config).snapshot(array.latency_model(), 0);
+///
+/// let mut qstr = QstrMed::with_candidates(4);
+/// let strings = pool.strings();
+/// for p in 0..pool.pool_count() {
+///     for block in pool.pool(p) {
+///         qstr.insert(p, block.summary(strings));
+///     }
+/// }
+/// let fast = qstr.assemble_on_demand(SpeedClass::Fast).expect("pools are full");
+/// assert_eq!(fast.class, Some(SpeedClass::Fast));
+/// assert!(qstr.distance_checks() <= 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QstrMed {
+    candidates: usize,
+    lists: Vec<SortedLatencyList>,
+    eigens: HashMap<BlockAddr, EigenSequence>,
+    distance_checks: u64,
+}
+
+impl QstrMed {
+    /// QSTR-MED with the paper's default of 4 candidates per pool.
+    #[must_use]
+    pub fn new() -> Self {
+        QstrMed::with_candidates(4)
+    }
+
+    /// QSTR-MED examining `candidates` head/tail blocks per other pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is zero.
+    #[must_use]
+    pub fn with_candidates(candidates: usize) -> Self {
+        assert!(candidates > 0, "candidate count must be positive");
+        QstrMed { candidates, lists: Vec::new(), eigens: HashMap::new(), distance_checks: 0 }
+    }
+
+    /// Candidate-list depth.
+    #[must_use]
+    pub fn candidates(&self) -> usize {
+        self.candidates
+    }
+
+    /// Number of pools currently tracked.
+    #[must_use]
+    pub fn pool_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Free blocks in the emptiest pool — how many more superblocks can be
+    /// assembled.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.lists.iter().map(SortedLatencyList::len).min().unwrap_or(0)
+    }
+
+    /// Free blocks registered in one pool (0 for unknown pools).
+    #[must_use]
+    pub fn pool_len(&self, pool: usize) -> usize {
+        self.lists.get(pool).map_or(0, SortedLatencyList::len)
+    }
+
+    /// Total eigen distance checks performed so far — the paper's computing
+    /// overhead metric.
+    #[must_use]
+    pub fn distance_checks(&self) -> u64 {
+        self.distance_checks
+    }
+
+    /// Registers a closed block's summary under its pool.
+    pub fn insert(&mut self, pool: usize, summary: BlockSummary) {
+        if pool >= self.lists.len() {
+            self.lists.resize_with(pool + 1, SortedLatencyList::new);
+        }
+        self.lists[pool].insert(summary.pgm_sum_us, summary.addr);
+        self.eigens.insert(summary.addr, summary.eigen);
+    }
+
+    /// Assembles one superblock on demand, or `None` if some pool is empty.
+    ///
+    /// `Fast` picks the globally fastest head block as reference and matches
+    /// against each other pool's fastest candidates; `Slow` mirrors this at
+    /// the tails.
+    pub fn assemble_on_demand(&mut self, class: SpeedClass) -> Option<Superblock> {
+        if self.lists.is_empty() || self.lists.iter().any(SortedLatencyList::is_empty) {
+            return None;
+        }
+        // 1. Reference: the extreme block across all pools.
+        let (ref_pool, ref_addr) = match class {
+            SpeedClass::Fast => self
+                .lists
+                .iter()
+                .enumerate()
+                .map(|(p, l)| (p, l.fastest().expect("checked non-empty")))
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(p, (_, a))| (p, a))?,
+            SpeedClass::Slow => self
+                .lists
+                .iter()
+                .enumerate()
+                .map(|(p, l)| (p, l.slowest().expect("checked non-empty")))
+                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(p, (_, a))| (p, a))?,
+        };
+        let ref_eigen = self.eigens[&ref_addr].clone();
+        // 2. In every other pool, keep the closest of the head/tail
+        //    candidates.
+        let mut members: Vec<(usize, BlockAddr)> = Vec::with_capacity(self.lists.len());
+        members.push((ref_pool, ref_addr));
+        for (p, list) in self.lists.iter().enumerate() {
+            if p == ref_pool {
+                continue;
+            }
+            let candidates = match class {
+                SpeedClass::Fast => list.head(self.candidates).to_vec(),
+                SpeedClass::Slow => list.tail(self.candidates),
+            };
+            let mut best: Option<(u32, BlockAddr)> = None;
+            for &(_, addr) in &candidates {
+                let d = ref_eigen.distance(&self.eigens[&addr]);
+                self.distance_checks += 1;
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, addr));
+                }
+            }
+            let (_, chosen) = best.expect("candidate list non-empty");
+            members.push((p, chosen));
+        }
+        // 3. Claim the members and emit in pool order.
+        members.sort_by_key(|&(p, _)| p);
+        let addrs: Vec<BlockAddr> = members.iter().map(|&(_, a)| a).collect();
+        for &(p, a) in &members {
+            let removed = self.lists[p].remove(a);
+            debug_assert!(removed);
+            self.eigens.remove(&a);
+        }
+        Some(Superblock::with_class(addrs, class))
+    }
+
+    /// Returns a claimed block to its pool (e.g. after garbage collection
+    /// frees it), re-registering its summary.
+    pub fn release(&mut self, pool: usize, summary: BlockSummary) {
+        self.insert(pool, summary);
+    }
+
+    /// Removes and returns the fastest registered block of one pool,
+    /// bypassing similarity matching (used for mixed warm-up assemblies).
+    pub fn take_fastest(&mut self, pool: usize) -> Option<BlockAddr> {
+        let (_, addr) = self.lists.get(pool)?.fastest()?;
+        self.lists[pool].remove(addr);
+        self.eigens.remove(&addr);
+        Some(addr)
+    }
+}
+
+impl Default for QstrMed {
+    fn default() -> Self {
+        QstrMed::new()
+    }
+}
+
+impl Assembler for QstrMed {
+    fn name(&self) -> String {
+        format!("QSTR-MED({})", self.candidates)
+    }
+
+    fn assemble(&mut self, pool: &BlockPool) -> Vec<Superblock> {
+        self.lists = vec![SortedLatencyList::new(); pool.pool_count()];
+        self.eigens.clear();
+        let strings = pool.strings();
+        for p in 0..pool.pool_count() {
+            for b in pool.pool(p) {
+                self.insert(p, b.summary(strings));
+            }
+        }
+        let mut sbs = Vec::with_capacity(pool.min_pool_len());
+        while let Some(sb) = self.assemble_on_demand(SpeedClass::Fast) {
+            sbs.push(sb);
+        }
+        sbs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::test_support::*;
+    use crate::assembly::RandomAssembly;
+    use crate::superblock::ExtraLatency;
+
+    fn avg_extra_pgm(pool: &BlockPool, sbs: &[Superblock]) -> f64 {
+        sbs.iter()
+            .map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us)
+            .sum::<f64>()
+            / sbs.len() as f64
+    }
+
+    #[test]
+    fn produces_valid_assembly() {
+        let pool = synthetic_pool(4, 10, 16);
+        let sbs = QstrMed::new().assemble(&pool);
+        assert_valid_assembly(&pool, &sbs);
+        assert!(sbs.iter().all(|sb| sb.class == Some(SpeedClass::Fast)));
+    }
+
+    #[test]
+    fn beats_random() {
+        let pool = synthetic_pool(4, 16, 16);
+        let q = avg_extra_pgm(&pool, &QstrMed::new().assemble(&pool));
+        let r = avg_extra_pgm(&pool, &RandomAssembly::new(5).assemble(&pool));
+        assert!(q < r, "QSTR-MED {q} vs random {r}");
+    }
+
+    #[test]
+    fn distance_checks_match_paper_count() {
+        let pool = synthetic_pool(4, 8, 16);
+        let mut q = QstrMed::with_candidates(4);
+        let sbs = q.assemble(&pool);
+        // Every superblock: 3 other pools x 4 candidates = 12 checks (fewer
+        // only when a list runs short at the tail).
+        assert_eq!(sbs.len(), 8);
+        let max = 12 * 8;
+        assert!(q.distance_checks() <= max, "{} checks", q.distance_checks());
+        assert!(q.distance_checks() >= 12 * 4, "{} checks", q.distance_checks());
+    }
+
+    #[test]
+    fn on_demand_fast_and_slow_classes() {
+        let pool = synthetic_pool(4, 6, 16);
+        let mut q = QstrMed::new();
+        let strings = pool.strings();
+        for p in 0..pool.pool_count() {
+            for b in pool.pool(p) {
+                q.insert(p, b.summary(strings));
+            }
+        }
+        let fast = q.assemble_on_demand(SpeedClass::Fast).unwrap();
+        let slow = q.assemble_on_demand(SpeedClass::Slow).unwrap();
+        assert_eq!(fast.class, Some(SpeedClass::Fast));
+        assert_eq!(slow.class, Some(SpeedClass::Slow));
+        // The fast superblock's total program sum must not exceed the slow one's.
+        let sum = |sb: &Superblock| -> f64 {
+            sb.members.iter().map(|&m| pool.profile(m).unwrap().pgm_sum_us()).sum()
+        };
+        assert!(sum(&fast) <= sum(&slow));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let pool = synthetic_pool(2, 1, 8);
+        let mut q = QstrMed::new();
+        let sbs = q.assemble(&pool);
+        assert_eq!(sbs.len(), 1);
+        assert!(q.assemble_on_demand(SpeedClass::Fast).is_none());
+    }
+
+    #[test]
+    fn empty_state_returns_none() {
+        let mut q = QstrMed::new();
+        assert!(q.assemble_on_demand(SpeedClass::Fast).is_none());
+    }
+
+    #[test]
+    fn release_makes_block_available_again() {
+        let pool = synthetic_pool(2, 2, 8);
+        let strings = pool.strings();
+        let mut q = QstrMed::new();
+        for p in 0..2 {
+            for b in pool.pool(p) {
+                q.insert(p, b.summary(strings));
+            }
+        }
+        let sb = q.assemble_on_demand(SpeedClass::Fast).unwrap();
+        assert_eq!(q.available(), 1);
+        let freed = pool.profile(sb.members[0]).unwrap();
+        q.release(0, freed.summary(strings));
+        assert_eq!(q.available(), 1);
+        assert_eq!(q.lists[0].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate count")]
+    fn zero_candidates_rejected() {
+        let _ = QstrMed::with_candidates(0);
+    }
+
+    #[test]
+    fn name_includes_candidates() {
+        assert_eq!(QstrMed::with_candidates(4).name(), "QSTR-MED(4)");
+    }
+}

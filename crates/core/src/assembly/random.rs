@@ -1,0 +1,66 @@
+//! Random assembly: the paper's baseline.
+
+use crate::assembly::{zip_orderings, Assembler};
+use crate::profile::BlockPool;
+use crate::superblock::Superblock;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Groups blocks arbitrarily — what an organization-oblivious FTL does and
+/// the baseline every paper number is normalized against.
+#[derive(Debug, Clone)]
+pub struct RandomAssembly {
+    seed: u64,
+}
+
+impl RandomAssembly {
+    /// A random assembly with a deterministic shuffle seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RandomAssembly { seed }
+    }
+}
+
+impl Assembler for RandomAssembly {
+    fn name(&self) -> String {
+        "Random".to_string()
+    }
+
+    fn assemble(&mut self, pool: &BlockPool) -> Vec<Superblock> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let orderings = (0..pool.pool_count())
+            .map(|p| {
+                let mut order: Vec<usize> = (0..pool.pool(p).len()).collect();
+                order.shuffle(&mut rng);
+                order
+            })
+            .collect();
+        zip_orderings(pool, orderings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::test_support::*;
+
+    #[test]
+    fn produces_valid_assembly() {
+        let pool = synthetic_pool(4, 10, 8);
+        let sbs = RandomAssembly::new(3).assemble(&pool);
+        assert_valid_assembly(&pool, &sbs);
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let pool = synthetic_pool(4, 10, 8);
+        assert_eq!(RandomAssembly::new(3).assemble(&pool), RandomAssembly::new(3).assemble(&pool));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pool = synthetic_pool(4, 32, 8);
+        assert_ne!(RandomAssembly::new(3).assemble(&pool), RandomAssembly::new(4).assemble(&pool));
+    }
+}

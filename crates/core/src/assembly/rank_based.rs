@@ -1,0 +1,212 @@
+//! Rank-similarity assemblies (§IV-A-5..8): LWL-rank, PWL-rank, STR-rank
+//! and STR-median.
+//!
+//! Each pool stays sorted by block program-latency sum; within a window the
+//! combination minimizing the Equation-1 pairwise rank distance wins. The
+//! four variants differ only in how a block is reduced to a comparison
+//! vector.
+
+use crate::assembly::windowed::{assemble_rounds, for_each_combo};
+use crate::assembly::Assembler;
+use crate::distance::rank_distance;
+use crate::eigen::EigenSequence;
+use crate::profile::BlockPool;
+use crate::rank;
+use crate::superblock::Superblock;
+
+/// How a block's word-line latencies are reduced for comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankStrategy {
+    /// Rank all logical word-lines together (ranks `0..lwls`).
+    Lwl,
+    /// Rank each string's physical word-lines (ranks `0..layers`).
+    Pwl,
+    /// Rank the strings within each layer (ranks `0..strings`).
+    Str,
+    /// One bit per word-line: fastest half of strings per layer → 0.
+    StrMedian,
+}
+
+impl RankStrategy {
+    fn paper_name(self) -> &'static str {
+        match self {
+            RankStrategy::Lwl => "LWL-RANK",
+            RankStrategy::Pwl => "PWL-RANK",
+            RankStrategy::Str => "STR-RANK",
+            RankStrategy::StrMedian => "STR-MED",
+        }
+    }
+}
+
+enum Vectors {
+    Ranks(Vec<Vec<Vec<u32>>>),
+    Eigens(Vec<Vec<EigenSequence>>),
+}
+
+/// Windowed assembly minimizing summed pairwise rank distance.
+#[derive(Debug, Clone, Copy)]
+pub struct RankAssembly {
+    strategy: RankStrategy,
+    window: usize,
+}
+
+impl RankAssembly {
+    /// A rank assembly with the given strategy and window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(strategy: RankStrategy, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        RankAssembly { strategy, window }
+    }
+
+    /// The comparison strategy.
+    #[must_use]
+    pub fn strategy(&self) -> RankStrategy {
+        self.strategy
+    }
+
+    /// The window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn precompute(&self, pool: &BlockPool) -> Vectors {
+        let strings = pool.strings();
+        match self.strategy {
+            RankStrategy::StrMedian => Vectors::Eigens(
+                (0..pool.pool_count())
+                    .map(|p| {
+                        pool.pool(p)
+                            .iter()
+                            .map(|b| rank::str_median_eigen(b.tprog_us(), strings))
+                            .collect()
+                    })
+                    .collect(),
+            ),
+            _ => Vectors::Ranks(
+                (0..pool.pool_count())
+                    .map(|p| {
+                        pool.pool(p)
+                            .iter()
+                            .map(|b| match self.strategy {
+                                RankStrategy::Lwl => rank::lwl_ranks(b.tprog_us()),
+                                RankStrategy::Pwl => rank::pwl_ranks(b.tprog_us(), strings),
+                                RankStrategy::Str => rank::str_ranks(b.tprog_us(), strings),
+                                RankStrategy::StrMedian => unreachable!(),
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Assembler for RankAssembly {
+    fn name(&self) -> String {
+        format!("{}({})", self.strategy.paper_name(), self.window)
+    }
+
+    fn assemble(&mut self, pool: &BlockPool) -> Vec<Superblock> {
+        let vectors = self.precompute(pool);
+        let pools = pool.pool_count();
+        let distance = |p: usize, i: usize, q: usize, j: usize| -> u64 {
+            match &vectors {
+                Vectors::Ranks(r) => u64::from(rank_distance(&r[p][i], &r[q][j])),
+                Vectors::Eigens(e) => u64::from(e[p][i].distance(&e[q][j])),
+            }
+        };
+        assemble_rounds(pool, self.window, |windows| {
+            // Pairwise distance matrices between window candidates, so each
+            // combination scores with C(pools, 2) lookups instead of full
+            // vector comparisons.
+            let sizes: Vec<usize> = windows.iter().map(|w| w.len()).collect();
+            let mut mats: Vec<Vec<Vec<u64>>> = vec![Vec::new(); pools * pools];
+            for p in 0..pools {
+                for q in (p + 1)..pools {
+                    let mut m = vec![vec![0u64; sizes[q]]; sizes[p]];
+                    for (a, row) in m.iter_mut().enumerate() {
+                        for (b, cell) in row.iter_mut().enumerate() {
+                            *cell = distance(p, windows[p][a], q, windows[q][b]);
+                        }
+                    }
+                    mats[p * pools + q] = m;
+                }
+            }
+            let mut best_score = u64::MAX;
+            let mut best = vec![0usize; pools];
+            for_each_combo(&sizes, |picks| {
+                let mut s = 0u64;
+                for p in 0..pools {
+                    for q in (p + 1)..pools {
+                        s += mats[p * pools + q][picks[p]][picks[q]];
+                    }
+                }
+                if s < best_score {
+                    best_score = s;
+                    best.copy_from_slice(picks);
+                }
+            });
+            best
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::test_support::*;
+    use crate::assembly::RandomAssembly;
+    use crate::superblock::ExtraLatency;
+
+    fn avg_extra_pgm(pool: &BlockPool, sbs: &[Superblock]) -> f64 {
+        sbs.iter()
+            .map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us)
+            .sum::<f64>()
+            / sbs.len() as f64
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_assemblies() {
+        let pool = synthetic_pool(4, 8, 16);
+        for strategy in
+            [RankStrategy::Lwl, RankStrategy::Pwl, RankStrategy::Str, RankStrategy::StrMedian]
+        {
+            let sbs = RankAssembly::new(strategy, 4).assemble(&pool);
+            assert_valid_assembly(&pool, &sbs);
+        }
+    }
+
+    #[test]
+    fn str_rank_beats_random() {
+        let pool = synthetic_pool(4, 16, 16);
+        let ranked = avg_extra_pgm(&pool, &RankAssembly::new(RankStrategy::Str, 8).assemble(&pool));
+        let random = avg_extra_pgm(&pool, &RandomAssembly::new(2).assemble(&pool));
+        assert!(ranked < random, "STR-RANK {ranked} vs random {random}");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(RankAssembly::new(RankStrategy::Lwl, 8).name(), "LWL-RANK(8)");
+        assert_eq!(RankAssembly::new(RankStrategy::StrMedian, 4).name(), "STR-MED(4)");
+    }
+
+    #[test]
+    fn window_one_is_program_sort() {
+        use crate::assembly::{LatencySortAssembly, SortKey};
+        let pool = synthetic_pool(4, 8, 8);
+        let ranked = RankAssembly::new(RankStrategy::Str, 1).assemble(&pool);
+        let sorted = LatencySortAssembly::new(SortKey::Program).assemble(&pool);
+        assert_eq!(ranked, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = RankAssembly::new(RankStrategy::Str, 0);
+    }
+}

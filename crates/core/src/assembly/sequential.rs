@@ -1,0 +1,61 @@
+//! Sequential assembly (§IV-A-1): same block offset on every chip.
+
+use crate::assembly::{zip_orderings, Assembler};
+use crate::profile::BlockPool;
+use crate::superblock::Superblock;
+
+/// Pairs the i-th block (by physical block index) of every pool — the
+/// scheme "commonly implemented in modern SSDs" the paper compares against.
+/// It works to the extent that blocks at the same manufacturing position on
+/// different chips share process traits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialAssembly;
+
+impl SequentialAssembly {
+    /// Creates the assembly.
+    #[must_use]
+    pub fn new() -> Self {
+        SequentialAssembly
+    }
+}
+
+impl Assembler for SequentialAssembly {
+    fn name(&self) -> String {
+        "Sequential".to_string()
+    }
+
+    fn assemble(&mut self, pool: &BlockPool) -> Vec<Superblock> {
+        let orderings = (0..pool.pool_count())
+            .map(|p| {
+                let mut order: Vec<usize> = (0..pool.pool(p).len()).collect();
+                order.sort_by_key(|&i| pool.pool(p)[i].addr().block);
+                order
+            })
+            .collect();
+        zip_orderings(pool, orderings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::test_support::*;
+
+    #[test]
+    fn produces_valid_assembly() {
+        let pool = synthetic_pool(4, 10, 8);
+        let sbs = SequentialAssembly::new().assemble(&pool);
+        assert_valid_assembly(&pool, &sbs);
+    }
+
+    #[test]
+    fn pairs_equal_block_indices() {
+        let pool = synthetic_pool(3, 5, 8);
+        let sbs = SequentialAssembly::new().assemble(&pool);
+        for (i, sb) in sbs.iter().enumerate() {
+            for &m in &sb.members {
+                assert_eq!(m.block.0 as usize, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Characterization drivers: collect [`BlockProfile`]s from flash.
+//!
+//! Two paths are provided:
+//!
+//! * [`Characterizer::characterize_array`] actually erases and programs
+//!   every block through the stateful [`FlashArray`] — the faithful
+//!   counterpart of the paper's testbed methodology (§VI-A);
+//! * [`Characterizer::snapshot`] queries the latency model directly at a
+//!   chosen P/E cycle — byte-identical results, orders of magnitude faster,
+//!   used by the P/E sweep experiments (the paper's chamber-accelerated
+//!   cycling).
+
+use crate::profile::{BlockPool, BlockProfile};
+use crate::Result;
+use flash_model::{FlashArray, FlashConfig, Geometry, LatencyModel};
+
+/// Collects per-block latency profiles for a whole array.
+///
+/// ```
+/// use flash_model::{FlashArray, FlashConfig};
+/// use pvcheck::Characterizer;
+///
+/// let config = FlashConfig::small_test();
+/// let array = FlashArray::new(config.clone(), 3);
+/// let pool = Characterizer::new(&config).snapshot(array.latency_model(), 0);
+/// assert_eq!(pool.pool_count(), 4);
+/// assert_eq!(pool.wl_count() as u32, config.geometry.lwls_per_block());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    geometry: Geometry,
+}
+
+impl Characterizer {
+    /// A characterizer for the given configuration.
+    #[must_use]
+    pub fn new(config: &FlashConfig) -> Self {
+        Characterizer { geometry: config.geometry.clone() }
+    }
+
+    /// Pool index of a block: one pool per (chip, plane).
+    fn pool_index(geo: &Geometry, addr: flash_model::BlockAddr) -> usize {
+        usize::from(addr.chip.0) * usize::from(geo.planes_per_chip()) + usize::from(addr.plane.0)
+    }
+
+    /// Number of pools this characterizer produces.
+    #[must_use]
+    pub fn pool_count(&self) -> usize {
+        usize::from(self.geometry.chips()) * usize::from(self.geometry.planes_per_chip())
+    }
+
+    /// Erases and fully programs every block, recording `tBERS` and each
+    /// word-line's `tPROG`.
+    ///
+    /// Every block endures exactly one P/E cycle. The page payload is a
+    /// characterization pattern (zeros), as on the real testbed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any flash operation error.
+    pub fn characterize_array(&self, array: &mut FlashArray) -> Result<BlockPool> {
+        let geo = array.geometry().clone();
+        let mut pool = BlockPool::new(self.pool_count(), geo.strings());
+        let payload = vec![0u64; geo.pages_per_lwl() as usize];
+        for addr in geo.blocks() {
+            let pe = array.pe_cycles(addr)?;
+            let tbers = array.erase_block(addr)?;
+            let mut tprog = Vec::with_capacity(geo.lwls_per_block() as usize);
+            for lwl in geo.lwls() {
+                tprog.push(array.program_wl(addr.wl(lwl), &payload)?);
+            }
+            pool.push(Self::pool_index(&geo, addr), BlockProfile::new(addr, pe, tprog, tbers))?;
+        }
+        Ok(pool)
+    }
+
+    /// Queries the latency model directly at P/E cycle `pe` for every block.
+    ///
+    /// Identical numbers to cycling a fresh array to `pe` and then calling
+    /// [`Characterizer::characterize_array`] (erase is sampled at `pe`, the
+    /// programs land at `pe + 1` — the cycle the erase opened).
+    #[must_use]
+    pub fn snapshot(&self, model: &LatencyModel, pe: u32) -> BlockPool {
+        let geo = model.geometry();
+        let mut pool = BlockPool::new(self.pool_count(), geo.strings());
+        for addr in geo.blocks() {
+            let tbers = model.erase_latency_us(addr, pe);
+            let tprog: Vec<f64> = geo
+                .lwls()
+                .map(|lwl| model.program_latency_us(addr.wl(lwl), pe + 1))
+                .collect();
+            pool.push(Self::pool_index(geo, addr), BlockProfile::new(addr, pe, tprog, tbers))
+                .expect("pool indices derive from the same geometry");
+        }
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterize_covers_every_block() {
+        let config = FlashConfig::small_test();
+        let mut array = FlashArray::new(config.clone(), 5);
+        let pool = Characterizer::new(&config).characterize_array(&mut array).unwrap();
+        assert_eq!(pool.pool_count(), 4);
+        assert_eq!(pool.len() as u64, config.geometry.total_blocks());
+        assert_eq!(pool.wl_count() as u32, config.geometry.lwls_per_block());
+        assert_eq!(pool.min_pool_len() as u32, config.geometry.blocks_per_plane());
+    }
+
+    #[test]
+    fn snapshot_matches_array_characterization() {
+        let config = FlashConfig::small_test();
+        let mut array = FlashArray::new(config.clone(), 5);
+        let chr = Characterizer::new(&config);
+        let from_array = chr.characterize_array(&mut array).unwrap();
+        let from_model = chr.snapshot(array.latency_model(), 0);
+        for p in from_array.iter() {
+            let q = from_model.profile(p.addr()).unwrap();
+            assert_eq!(p.tprog_us(), q.tprog_us(), "block {}", p.addr());
+            assert_eq!(p.tbers_us(), q.tbers_us());
+        }
+    }
+
+    #[test]
+    fn snapshot_at_higher_pe_differs() {
+        let config = FlashConfig::small_test();
+        let array = FlashArray::new(config.clone(), 5);
+        let chr = Characterizer::new(&config);
+        let p0 = chr.snapshot(array.latency_model(), 0);
+        let p1k = chr.snapshot(array.latency_model(), 1000);
+        let a = p0.iter().next().unwrap().addr();
+        assert_ne!(p0.profile(a).unwrap().tprog_us(), p1k.profile(a).unwrap().tprog_us());
+    }
+
+    #[test]
+    fn profiles_record_pe_cycle() {
+        let config = FlashConfig::small_test();
+        let chr = Characterizer::new(&config);
+        let array = FlashArray::new(config, 5);
+        let pool = chr.snapshot(array.latency_model(), 500);
+        assert!(pool.iter().all(|p| p.pe() == 500));
+    }
+
+    #[test]
+    fn multi_plane_geometry_gets_one_pool_per_plane() {
+        let config = FlashConfig::builder()
+            .chips(2)
+            .planes_per_chip(2)
+            .blocks_per_plane(4)
+            .pwl_layers(4)
+            .strings(4)
+            .build();
+        let chr = Characterizer::new(&config);
+        assert_eq!(chr.pool_count(), 4);
+        let array = FlashArray::new(config, 1);
+        let pool = chr.snapshot(array.latency_model(), 0);
+        assert_eq!(pool.pool_count(), 4);
+        assert_eq!(pool.min_pool_len(), 4);
+    }
+}

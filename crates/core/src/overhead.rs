@@ -1,0 +1,119 @@
+//! Computing and space overhead models (§IV-B, §VI-B-2, §VI-D, Equation 2).
+//!
+//! ```
+//! use pvcheck::overhead;
+//!
+//! // The paper's §VI-B-2 numbers: 1,536 vs 12 checks, a 99.22 % reduction.
+//! assert_eq!(overhead::str_med_distance_checks(4, 4), 1536);
+//! assert_eq!(overhead::qstr_med_distance_checks(4, 4), 12);
+//! // And Equation 2: 52 bytes of metadata per 384-word-line block.
+//! assert_eq!(overhead::per_block_metadata_bytes(384), 52);
+//! ```
+
+/// Number of member combinations a windowed scheme must enumerate:
+/// `window^pools`.
+#[must_use]
+pub fn windowed_combinations(window: usize, pools: usize) -> u64 {
+    (window as u64).pow(pools as u32)
+}
+
+/// Pairwise distance checks for a full windowed similarity scheme
+/// (STR-RANK / STR-MED): every combination pays one check per unordered
+/// pool pair. With four pools and window 4 this is the paper's 1,536.
+#[must_use]
+pub fn str_med_distance_checks(window: usize, pools: usize) -> u64 {
+    let pairs = (pools * pools.saturating_sub(1) / 2) as u64;
+    windowed_combinations(window, pools) * pairs
+}
+
+/// Distance checks for QSTR-MED: the reference block is compared against
+/// `candidates` head blocks in each *other* pool. With four pools and four
+/// candidates this is the paper's 12.
+#[must_use]
+pub fn qstr_med_distance_checks(candidates: usize, pools: usize) -> u64 {
+    (pools.saturating_sub(1) * candidates) as u64
+}
+
+/// Relative reduction in distance checks of QSTR-MED vs. STR-MED, in
+/// percent (the paper's 99.22 %).
+#[must_use]
+pub fn check_reduction_percent(window: usize, candidates: usize, pools: usize) -> f64 {
+    let full = str_med_distance_checks(window, pools) as f64;
+    if full == 0.0 {
+        return 0.0;
+    }
+    let q = qstr_med_distance_checks(candidates, pools) as f64;
+    (1.0 - q / full) * 100.0
+}
+
+/// Per-block metadata bytes QSTR-MED keeps (Equation 2's per-block term):
+/// a 4-byte program-latency sum plus one bit per logical word-line.
+#[must_use]
+pub fn per_block_metadata_bytes(lwls_per_block: u32) -> u64 {
+    4 + u64::from(lwls_per_block.div_ceil(8))
+}
+
+/// Total memory footprint of QSTR-MED metadata (Equation 2):
+/// `blocks × (S_PGM_LTN + S_Eigen)`.
+#[must_use]
+pub fn memory_footprint_bytes(blocks: u64, lwls_per_block: u32) -> u64 {
+    blocks * per_block_metadata_bytes(lwls_per_block)
+}
+
+/// Equation 2 applied to a drive: capacity and block size in bytes.
+///
+/// # Panics
+///
+/// Panics if `block_bytes` is zero.
+#[must_use]
+pub fn drive_footprint_bytes(capacity_bytes: u64, block_bytes: u64, lwls_per_block: u32) -> u64 {
+    assert!(block_bytes > 0, "block size must be positive");
+    memory_footprint_bytes(capacity_bytes / block_bytes, lwls_per_block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_combination_counts() {
+        // §IV-B: window 4, four pools -> 256 combinations, 1,536 checks.
+        assert_eq!(windowed_combinations(4, 4), 256);
+        assert_eq!(str_med_distance_checks(4, 4), 1536);
+        // §IV-A-4: window 8, four pools -> 4,096 combinations.
+        assert_eq!(windowed_combinations(8, 4), 4096);
+    }
+
+    #[test]
+    fn paper_qstr_checks() {
+        // §VI-B-2: 12 pair checks at window/candidates 4.
+        assert_eq!(qstr_med_distance_checks(4, 4), 12);
+    }
+
+    #[test]
+    fn paper_reduction_percent() {
+        let r = check_reduction_percent(4, 4, 4);
+        assert!((r - 99.22).abs() < 0.01, "reduction {r}");
+    }
+
+    #[test]
+    fn paper_space_overhead() {
+        // §VI-D-1: 384 LWLs -> 52 bytes per block.
+        assert_eq!(per_block_metadata_bytes(384), 52);
+        // 1 TB drive of 8 MB blocks -> ~6.5 MB.
+        let bytes = drive_footprint_bytes(1 << 40, 8 << 20, 384);
+        let mib = bytes as f64 / (1024.0 * 1024.0);
+        assert!((6.0..7.0).contains(&mib), "footprint {mib} MiB");
+    }
+
+    #[test]
+    fn footprint_scales_linearly_with_blocks() {
+        assert_eq!(memory_footprint_bytes(10, 384), 10 * 52);
+    }
+
+    #[test]
+    fn single_pool_needs_no_checks() {
+        assert_eq!(str_med_distance_checks(4, 1), 0);
+        assert_eq!(qstr_med_distance_checks(4, 1), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The per-chip sorted program-latency list QSTR-MED maintains (§V-A).
+
+use flash_model::BlockAddr;
+
+/// Blocks of one chip kept sorted by ascending program-latency sum.
+///
+/// The head holds the fastest free blocks (candidates for fast
+/// superblocks), the tail the slowest (candidates for slow superblocks).
+#[derive(Debug, Clone, Default)]
+pub struct SortedLatencyList {
+    entries: Vec<(f64, BlockAddr)>,
+}
+
+impl SortedLatencyList {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        SortedLatencyList::default()
+    }
+
+    /// Number of blocks in the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a block at its sorted position (ties after existing equals).
+    pub fn insert(&mut self, pgm_sum_us: f64, addr: BlockAddr) {
+        let pos = self
+            .entries
+            .partition_point(|&(s, _)| s <= pgm_sum_us);
+        self.entries.insert(pos, (pgm_sum_us, addr));
+    }
+
+    /// The `n` fastest blocks, fastest first.
+    #[must_use]
+    pub fn head(&self, n: usize) -> &[(f64, BlockAddr)] {
+        &self.entries[..n.min(self.entries.len())]
+    }
+
+    /// The `n` slowest blocks, slowest first.
+    #[must_use]
+    pub fn tail(&self, n: usize) -> Vec<(f64, BlockAddr)> {
+        self.entries.iter().rev().take(n).copied().collect()
+    }
+
+    /// The fastest entry, if any.
+    #[must_use]
+    pub fn fastest(&self) -> Option<(f64, BlockAddr)> {
+        self.entries.first().copied()
+    }
+
+    /// The slowest entry, if any.
+    #[must_use]
+    pub fn slowest(&self) -> Option<(f64, BlockAddr)> {
+        self.entries.last().copied()
+    }
+
+    /// Removes a block by address; returns whether it was present.
+    pub fn remove(&mut self, addr: BlockAddr) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(_, a)| a == addr) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterator over `(pgm_sum, addr)` ascending.
+    pub fn iter(&self) -> impl Iterator<Item = &(f64, BlockAddr)> {
+        self.entries.iter()
+    }
+
+    /// Whether the internal order invariant holds (for tests/debugging).
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].0 <= w[1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_model::{BlockId, ChipId, PlaneId};
+
+    fn addr(b: u32) -> BlockAddr {
+        BlockAddr::new(ChipId(0), PlaneId(0), BlockId(b))
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut l = SortedLatencyList::new();
+        for (s, b) in [(5.0, 1), (1.0, 2), (3.0, 3), (2.0, 4)] {
+            l.insert(s, addr(b));
+        }
+        assert!(l.is_sorted());
+        assert_eq!(l.fastest().unwrap().1, addr(2));
+        assert_eq!(l.slowest().unwrap().1, addr(1));
+    }
+
+    #[test]
+    fn head_and_tail_windows() {
+        let mut l = SortedLatencyList::new();
+        for i in 0..6 {
+            l.insert(f64::from(i), addr(i as u32));
+        }
+        let head: Vec<u32> = l.head(3).iter().map(|&(_, a)| a.block.0).collect();
+        assert_eq!(head, vec![0, 1, 2]);
+        let tail: Vec<u32> = l.tail(2).iter().map(|&(_, a)| a.block.0).collect();
+        assert_eq!(tail, vec![5, 4]);
+    }
+
+    #[test]
+    fn head_clamps_to_length() {
+        let mut l = SortedLatencyList::new();
+        l.insert(1.0, addr(0));
+        assert_eq!(l.head(10).len(), 1);
+        assert_eq!(l.tail(10).len(), 1);
+    }
+
+    #[test]
+    fn remove_by_address() {
+        let mut l = SortedLatencyList::new();
+        l.insert(1.0, addr(0));
+        l.insert(2.0, addr(1));
+        assert!(l.remove(addr(0)));
+        assert!(!l.remove(addr(0)));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.fastest().unwrap().1, addr(1));
+    }
+
+    #[test]
+    fn equal_sums_insert_after_existing() {
+        let mut l = SortedLatencyList::new();
+        l.insert(1.0, addr(0));
+        l.insert(1.0, addr(1));
+        let order: Vec<u32> = l.iter().map(|&(_, a)| a.block.0).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_list_has_no_extremes() {
+        let l = SortedLatencyList::new();
+        assert!(l.fastest().is_none());
+        assert!(l.slowest().is_none());
+        assert!(l.is_empty());
+    }
+}

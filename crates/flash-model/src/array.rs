@@ -1,0 +1,454 @@
+//! The stateful flash array: legal-operation enforcement plus latency
+//! reporting, including multi-plane (MP) command semantics.
+
+use crate::ber::BerModel;
+use crate::chip::{BlockPhase, BlockState};
+use crate::config::FlashConfig;
+use crate::error::FlashError;
+use crate::geometry::Geometry;
+use crate::ids::{BlockAddr, PageAddr, WlAddr};
+use crate::latency::LatencyModel;
+use crate::Result;
+
+/// Outcome of a multi-plane command.
+///
+/// An MP command completes only when every member operation completes, so
+/// the observable latency is the maximum; the *extra latency* (the paper's
+/// optimization target) is `max - min`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpOutcome {
+    /// Latency of each member operation, in issue order, µs.
+    pub member_us: Vec<f64>,
+    /// Completion latency of the whole command (`max`), µs.
+    pub total_us: f64,
+    /// Extra latency (`max - min`), µs.
+    pub extra_us: f64,
+}
+
+impl MpOutcome {
+    fn from_members(member_us: Vec<f64>) -> Self {
+        let max = member_us.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = member_us.iter().copied().fold(f64::INFINITY, f64::min);
+        MpOutcome { member_us, total_us: max, extra_us: max - min }
+    }
+}
+
+/// A stateful flash array backed by the deterministic latency model.
+///
+/// Operations check NAND legality (erase-before-program, in-order word-line
+/// programming, no reads of unwritten pages) and report synthesized
+/// latencies that depend on each block's process-variation traits and wear.
+///
+/// ```
+/// use flash_model::{FlashArray, FlashConfig, BlockAddr, ChipId, PlaneId, BlockId, LwlId};
+///
+/// # fn main() -> flash_model::Result<()> {
+/// let mut array = FlashArray::new(FlashConfig::small_test(), 1);
+/// // A multi-chip erase completes when its slowest member finishes.
+/// let members: Vec<BlockAddr> =
+///     (0..4).map(|c| BlockAddr::new(ChipId(c), PlaneId(0), BlockId(0))).collect();
+/// let outcome = array.mp_erase(&members)?;
+/// assert_eq!(outcome.total_us, outcome.member_us.iter().copied().fold(f64::MIN, f64::max));
+/// assert!(outcome.extra_us >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    model: LatencyModel,
+    ber: BerModel,
+    blocks: Vec<BlockState>,
+}
+
+impl FlashArray {
+    /// Creates an array in the `Fresh` state for every block.
+    #[must_use]
+    pub fn new(config: FlashConfig, seed: u64) -> Self {
+        let model = LatencyModel::new(config.geometry.clone(), config.variation, seed);
+        let blocks = vec![BlockState::default(); config.geometry.total_blocks() as usize];
+        FlashArray { model, ber: BerModel::new(seed), blocks }
+    }
+
+    /// The array geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        self.model.geometry()
+    }
+
+    /// The underlying latency model (read-only).
+    #[must_use]
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// The bit-error-rate model.
+    #[must_use]
+    pub fn ber_model(&self) -> &BerModel {
+        &self.ber
+    }
+
+    fn check(&self, addr: BlockAddr) -> Result<usize> {
+        if !self.geometry().contains_block(addr) {
+            return Err(FlashError::AddressOutOfRange { addr });
+        }
+        Ok(self.geometry().block_index(addr))
+    }
+
+    fn check_wl(&self, wl: WlAddr) -> Result<usize> {
+        let idx = self.check(wl.block)?;
+        if wl.lwl.0 >= self.geometry().lwls_per_block() {
+            return Err(FlashError::WlOutOfRange { wl });
+        }
+        Ok(idx)
+    }
+
+    /// Current lifecycle phase of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] for addresses outside the
+    /// geometry.
+    pub fn phase(&self, addr: BlockAddr) -> Result<BlockPhase> {
+        Ok(self.blocks[self.check(addr)?].phase)
+    }
+
+    /// P/E cycles a block has endured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] for addresses outside the
+    /// geometry.
+    pub fn pe_cycles(&self, addr: BlockAddr) -> Result<u32> {
+        Ok(self.blocks[self.check(addr)?].wear.pe_cycles())
+    }
+
+    /// Next word-line a block expects (its write pointer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] for addresses outside the
+    /// geometry.
+    pub fn next_lwl(&self, addr: BlockAddr) -> Result<crate::ids::LwlId> {
+        Ok(self.blocks[self.check(addr)?].next_lwl)
+    }
+
+    /// Erases a block, returning the erase latency in µs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] for addresses outside the
+    /// geometry.
+    pub fn erase_block(&mut self, addr: BlockAddr) -> Result<f64> {
+        let idx = self.check(addr)?;
+        let pe = self.blocks[idx].wear.pe_cycles();
+        self.blocks[idx].erase();
+        Ok(self.model.erase_latency_us(addr, pe))
+    }
+
+    /// Programs one logical word-line with one payload tag per page,
+    /// returning the program latency in µs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range, the block is not
+    /// erased/open, the word-line is out of order, or the data length does
+    /// not match the geometry's pages-per-word-line.
+    pub fn program_wl(&mut self, wl: WlAddr, data: &[u64]) -> Result<f64> {
+        let idx = self.check_wl(wl)?;
+        let geo = self.geometry().clone();
+        self.blocks[idx].program_wl(&geo, wl.block, wl.lwl, data)?;
+        let pe = self.blocks[idx].wear.pe_cycles();
+        Ok(self.model.program_latency_us(wl, pe))
+    }
+
+    /// Reads one page, returning `(payload tag, read latency µs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range or the page was never
+    /// programmed.
+    pub fn read_page(&self, page: PageAddr) -> Result<(u64, f64)> {
+        let idx = self.check_wl(page.wl)?;
+        let data = self.blocks[idx].read_page(self.geometry(), page)?;
+        let pe = self.blocks[idx].wear.pe_cycles();
+        Ok((data, self.model.read_latency_us(page, pe)))
+    }
+
+    fn check_mp_distinct(addrs: impl Iterator<Item = BlockAddr>) -> Result<()> {
+        let mut seen = Vec::new();
+        for a in addrs {
+            let key = (a.chip, a.plane);
+            if seen.contains(&key) {
+                return Err(FlashError::MultiPlaneConflict { addr: a });
+            }
+            seen.push(key);
+        }
+        Ok(())
+    }
+
+    /// Multi-plane / multi-chip erase: erases every block and reports the
+    /// command outcome (completion = slowest member).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty, addresses a plane twice, or any
+    /// member address is invalid. On error no state is modified.
+    pub fn mp_erase(&mut self, blocks: &[BlockAddr]) -> Result<MpOutcome> {
+        if blocks.is_empty() {
+            return Err(FlashError::EmptyMultiPlane);
+        }
+        Self::check_mp_distinct(blocks.iter().copied())?;
+        for &b in blocks {
+            self.check(b)?;
+        }
+        let mut member = Vec::with_capacity(blocks.len());
+        for &b in blocks {
+            member.push(self.erase_block(b)?);
+        }
+        Ok(MpOutcome::from_members(member))
+    }
+
+    /// Multi-plane / multi-chip word-line program (the super word-line
+    /// operation of the paper's Figure 2). `data` is one payload slice per
+    /// member word-line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or mismatched with `data`,
+    /// addresses a plane twice, or any member program is illegal. Members
+    /// before the failing one remain programmed (matching real MP commands,
+    /// which fail per-plane).
+    pub fn mp_program(&mut self, wls: &[WlAddr], data: &[&[u64]]) -> Result<MpOutcome> {
+        if wls.is_empty() {
+            return Err(FlashError::EmptyMultiPlane);
+        }
+        if wls.len() != data.len() {
+            return Err(FlashError::DataLengthMismatch {
+                expected: wls.len() as u32,
+                got: data.len(),
+            });
+        }
+        Self::check_mp_distinct(wls.iter().map(|w| w.block))?;
+        let mut member = Vec::with_capacity(wls.len());
+        for (&wl, &d) in wls.iter().zip(data) {
+            member.push(self.program_wl(wl, d)?);
+        }
+        Ok(MpOutcome::from_members(member))
+    }
+
+    /// Reads one page including read-retry overhead for a page aged by
+    /// `retention_hours` of data retention: returns
+    /// `(payload tag, latency µs, retry rounds)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range or the page was never
+    /// programmed.
+    pub fn read_page_with_retries(
+        &self,
+        page: PageAddr,
+        retention_hours: f64,
+        retry: &crate::retry::RetryModel,
+    ) -> Result<(u64, f64, u32)> {
+        let (data, base_us) = self.read_page(page)?;
+        let idx = self.geometry().block_index(page.wl.block);
+        let pe = self.blocks[idx].wear.pe_cycles();
+        let layer = self.geometry().layer_of(page.wl.lwl);
+        // 16 KB user data per page, the paper's platform.
+        let error_bits = self.ber.expected_error_bits(
+            self.geometry(),
+            page.wl.block,
+            layer,
+            pe,
+            retention_hours,
+            16 * 1024,
+        );
+        let retries = retry.retries(error_bits);
+        Ok((data, retry.read_latency_us(base_us, error_bits), retries))
+    }
+
+    /// Multi-plane / multi-chip page read.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty, addresses a plane twice, or any
+    /// page is unwritten.
+    pub fn mp_read(&self, pages: &[PageAddr]) -> Result<(Vec<u64>, MpOutcome)> {
+        if pages.is_empty() {
+            return Err(FlashError::EmptyMultiPlane);
+        }
+        Self::check_mp_distinct(pages.iter().map(|p| p.wl.block))?;
+        let mut member = Vec::with_capacity(pages.len());
+        let mut payloads = Vec::with_capacity(pages.len());
+        for &p in pages {
+            let (d, t) = self.read_page(p)?;
+            payloads.push(d);
+            member.push(t);
+        }
+        Ok((payloads, MpOutcome::from_members(member)))
+    }
+
+    /// Adds accelerated wear to one block without data operations — the
+    /// simulation counterpart of the paper's chamber cycling between
+    /// measurement points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] for addresses outside the
+    /// geometry.
+    pub fn age_block(&mut self, addr: BlockAddr, cycles: u32) -> Result<()> {
+        let idx = self.check(addr)?;
+        self.blocks[idx].wear.age(cycles);
+        Ok(())
+    }
+
+    /// Adds accelerated wear to every block.
+    pub fn age_all(&mut self, cycles: u32) {
+        for b in &mut self.blocks {
+            b.wear.age(cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BlockId, ChipId, LwlId, PageType, PlaneId};
+
+    fn array() -> FlashArray {
+        FlashArray::new(FlashConfig::small_test(), 17)
+    }
+
+    fn blk(c: u16, b: u32) -> BlockAddr {
+        BlockAddr::new(ChipId(c), PlaneId(0), BlockId(b))
+    }
+
+    #[test]
+    fn fresh_array_reports_fresh_phase() {
+        let a = array();
+        assert_eq!(a.phase(blk(0, 0)).unwrap(), BlockPhase::Fresh);
+        assert_eq!(a.pe_cycles(blk(0, 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn erase_then_program_then_read_roundtrip() {
+        let mut a = array();
+        let b = blk(1, 2);
+        a.erase_block(b).unwrap();
+        a.program_wl(b.wl(LwlId(0)), &[7, 8, 9]).unwrap();
+        let (d, t) = a.read_page(b.wl(LwlId(0)).page(PageType::Csb)).unwrap();
+        assert_eq!(d, 8);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn program_latency_matches_model() {
+        let mut a = array();
+        let b = blk(0, 5);
+        a.erase_block(b).unwrap();
+        let t = a.program_wl(b.wl(LwlId(0)), &[0, 0, 0]).unwrap();
+        assert_eq!(t, a.latency_model().program_latency_us(b.wl(LwlId(0)), 1));
+    }
+
+    #[test]
+    fn mp_erase_total_is_max_of_members() {
+        let mut a = array();
+        let blocks = [blk(0, 0), blk(1, 0), blk(2, 0), blk(3, 0)];
+        let out = a.mp_erase(&blocks).unwrap();
+        assert_eq!(out.member_us.len(), 4);
+        let max = out.member_us.iter().copied().fold(f64::MIN, f64::max);
+        let min = out.member_us.iter().copied().fold(f64::MAX, f64::min);
+        assert_eq!(out.total_us, max);
+        assert!((out.extra_us - (max - min)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mp_rejects_same_plane_twice() {
+        let mut a = array();
+        let err = a.mp_erase(&[blk(0, 0), blk(0, 1)]).unwrap_err();
+        assert!(matches!(err, FlashError::MultiPlaneConflict { .. }));
+    }
+
+    #[test]
+    fn mp_rejects_empty() {
+        let mut a = array();
+        assert_eq!(a.mp_erase(&[]).unwrap_err(), FlashError::EmptyMultiPlane);
+    }
+
+    #[test]
+    fn mp_program_roundtrip_across_chips() {
+        let mut a = array();
+        let blocks = [blk(0, 1), blk(1, 1), blk(2, 1), blk(3, 1)];
+        for &b in &blocks {
+            a.erase_block(b).unwrap();
+        }
+        let wls: Vec<_> = blocks.iter().map(|b| b.wl(LwlId(0))).collect();
+        let payloads = [[1u64, 2, 3], [4, 5, 6], [7, 8, 9], [10, 11, 12]];
+        let refs: Vec<&[u64]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let out = a.mp_program(&wls, &refs).unwrap();
+        assert!(out.extra_us >= 0.0);
+        let pages: Vec<_> = wls.iter().map(|w| w.page(PageType::Lsb)).collect();
+        let (data, _) = a.mp_read(&pages).unwrap();
+        assert_eq!(data, vec![1, 4, 7, 10]);
+    }
+
+    #[test]
+    fn aging_changes_reported_latency() {
+        let mut a = array();
+        let b = blk(0, 0);
+        a.erase_block(b).unwrap();
+        let before = a.latency_model().erase_latency_us(b, a.pe_cycles(b).unwrap());
+        a.age_block(b, 3000).unwrap();
+        let after = a.latency_model().erase_latency_us(b, a.pe_cycles(b).unwrap());
+        assert!(after > before, "wear should slow erase: {before} -> {after}");
+    }
+
+    #[test]
+    fn age_all_touches_every_block() {
+        let mut a = array();
+        a.age_all(500);
+        assert_eq!(a.pe_cycles(blk(3, 63)).unwrap(), 500);
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let a = array();
+        let bad = BlockAddr::new(ChipId(9), PlaneId(0), BlockId(0));
+        assert!(matches!(a.phase(bad), Err(FlashError::AddressOutOfRange { .. })));
+    }
+
+    #[test]
+    fn wl_out_of_range_is_reported() {
+        let mut a = array();
+        let b = blk(0, 0);
+        a.erase_block(b).unwrap();
+        let bad = b.wl(LwlId(a.geometry().lwls_per_block()));
+        assert!(matches!(a.program_wl(bad, &[0, 0, 0]), Err(FlashError::WlOutOfRange { .. })));
+    }
+
+    #[test]
+    fn retries_appear_only_when_worn() {
+        let mut a = array();
+        let retry = crate::retry::RetryModel::default();
+        let b = blk(0, 0);
+        a.erase_block(b).unwrap();
+        a.program_wl(b.wl(LwlId(0)), &[1, 2, 3]).unwrap();
+        let page = b.wl(LwlId(0)).page(PageType::Lsb);
+        let (_, fresh_lat, fresh_r) = a.read_page_with_retries(page, 0.0, &retry).unwrap();
+        assert_eq!(fresh_r, 0, "fresh page needs no retries");
+        // Age heavily plus long retention: retries must kick in and slow reads.
+        a.age_block(b, 30_000).unwrap();
+        let (_, worn_lat, worn_r) = a.read_page_with_retries(page, 50_000.0, &retry).unwrap();
+        assert!(worn_r > 0, "worn page should retry");
+        assert!(worn_lat > fresh_lat);
+    }
+
+    #[test]
+    fn erase_increments_pe() {
+        let mut a = array();
+        let b = blk(2, 3);
+        a.erase_block(b).unwrap();
+        a.erase_block(b).unwrap();
+        assert_eq!(a.pe_cycles(b).unwrap(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Raw bit error rate (RBER) model.
+//!
+//! The paper's §VI-C evaluates QSTR-MED "under high failure rates when an SSD
+//! drive is subject to wear and tear". This small model supplies the failure
+//! side: RBER grows exponentially with P/E cycles and retention time, and
+//! differs by physical word-line layer (edge layers are worse, matching the
+//! V-shaped channel-aperture structure).
+
+use crate::geometry::Geometry;
+use crate::ids::{BlockAddr, PwlLayer};
+use crate::sampler::Sampler;
+
+const TAG_BER_BLOCK: u64 = 0x70;
+
+/// Raw bit error rate model.
+#[derive(Debug, Clone)]
+pub struct BerModel {
+    base_rber: f64,
+    pe_growth_per_kcycle: f64,
+    retention_growth_per_khour: f64,
+    layer_edge_factor: f64,
+    block_sigma: f64,
+    sampler: Sampler,
+}
+
+impl BerModel {
+    /// Model with typical 3D-TLC parameters.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        BerModel {
+            base_rber: 2e-4,
+            pe_growth_per_kcycle: 0.9,
+            retention_growth_per_khour: 0.5,
+            layer_edge_factor: 0.6,
+            block_sigma: 0.25,
+            sampler: Sampler::new(seed).derive(0x8e5),
+        }
+    }
+
+    /// Raw bit error rate of one layer of a block after `pe` cycles and
+    /// `retention_hours` of data retention.
+    #[must_use]
+    pub fn rber(&self, geo: &Geometry, addr: BlockAddr, layer: PwlLayer, pe: u32, retention_hours: f64) -> f64 {
+        let layers = f64::from(geo.pwl_layers());
+        let x = if layers > 1.0 { 2.0 * f64::from(layer.0) / (layers - 1.0) - 1.0 } else { 0.0 };
+        let layer_mult = 1.0 + self.layer_edge_factor * x * x;
+        let block_mult = (self.block_sigma
+            * self.sampler.normal(&[
+                TAG_BER_BLOCK,
+                u64::from(addr.chip.0),
+                u64::from(addr.plane.0),
+                u64::from(addr.block.0),
+            ]))
+        .exp();
+        self.base_rber
+            * (self.pe_growth_per_kcycle * f64::from(pe) / 1000.0).exp()
+            * (self.retention_growth_per_khour * retention_hours / 1000.0).exp()
+            * layer_mult
+            * block_mult
+    }
+
+    /// Expected number of error bits when reading a page of `page_bytes`.
+    #[must_use]
+    pub fn expected_error_bits(&self, geo: &Geometry, addr: BlockAddr, layer: PwlLayer, pe: u32, retention_hours: f64, page_bytes: u32) -> f64 {
+        self.rber(geo, addr, layer, pe, retention_hours) * f64::from(page_bytes) * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BlockId, ChipId, PlaneId};
+
+    fn addr(b: u32) -> BlockAddr {
+        BlockAddr::new(ChipId(0), PlaneId(0), BlockId(b))
+    }
+
+    #[test]
+    fn rber_grows_with_pe() {
+        let m = BerModel::new(1);
+        let g = Geometry::small_test();
+        let r0 = m.rber(&g, addr(0), PwlLayer(4), 0, 0.0);
+        let r3k = m.rber(&g, addr(0), PwlLayer(4), 3000, 0.0);
+        assert!(r3k > r0 * 5.0, "{r0} -> {r3k}");
+    }
+
+    #[test]
+    fn rber_grows_with_retention() {
+        let m = BerModel::new(1);
+        let g = Geometry::small_test();
+        let r0 = m.rber(&g, addr(0), PwlLayer(4), 1000, 0.0);
+        let r1 = m.rber(&g, addr(0), PwlLayer(4), 1000, 2000.0);
+        assert!(r1 > r0);
+    }
+
+    #[test]
+    fn edge_layers_are_worse() {
+        let m = BerModel::new(1);
+        let g = Geometry::small_test();
+        let edge = m.rber(&g, addr(0), PwlLayer(0), 0, 0.0);
+        let mid = m.rber(&g, addr(0), PwlLayer(4), 0, 0.0);
+        assert!(edge > mid);
+    }
+
+    #[test]
+    fn blocks_differ_but_deterministically() {
+        let m = BerModel::new(1);
+        let g = Geometry::small_test();
+        let a = m.rber(&g, addr(0), PwlLayer(2), 0, 0.0);
+        let b = m.rber(&g, addr(1), PwlLayer(2), 0, 0.0);
+        assert_ne!(a, b);
+        assert_eq!(a, m.rber(&g, addr(0), PwlLayer(2), 0, 0.0));
+    }
+
+    #[test]
+    fn expected_error_bits_scales_with_page_size() {
+        let m = BerModel::new(1);
+        let g = Geometry::small_test();
+        let e16 = m.expected_error_bits(&g, addr(0), PwlLayer(2), 0, 0.0, 16384);
+        let e4 = m.expected_error_bits(&g, addr(0), PwlLayer(2), 0, 0.0, 4096);
+        assert!((e16 / e4 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Stateful per-block bookkeeping: phases, write pointers and page data.
+
+use crate::error::FlashError;
+use crate::geometry::Geometry;
+use crate::ids::{BlockAddr, LwlId, PageAddr};
+use crate::wear::WearState;
+use crate::Result;
+
+/// Lifecycle phase of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockPhase {
+    /// Never erased since power-on; must be erased before programming.
+    #[default]
+    Fresh,
+    /// Erased and empty.
+    Erased,
+    /// Partially programmed; the next word-line is tracked.
+    Open,
+    /// Every word-line is programmed.
+    Full,
+}
+
+/// Mutable state of one block.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockState {
+    pub phase: BlockPhase,
+    pub next_lwl: LwlId,
+    pub wear: WearState,
+    /// Page payload tags, indexed by `lwl * pages_per_lwl + page_index`;
+    /// allocated lazily on the first program.
+    pages: Option<Box<[u64]>>,
+}
+
+impl Default for BlockState {
+    fn default() -> Self {
+        BlockState { phase: BlockPhase::Fresh, next_lwl: LwlId(0), wear: WearState::new(), pages: None }
+    }
+}
+
+impl BlockState {
+    pub(crate) fn erase(&mut self) {
+        self.phase = BlockPhase::Erased;
+        self.next_lwl = LwlId(0);
+        self.wear.record_erase();
+        self.pages = None;
+    }
+
+    pub(crate) fn program_wl(
+        &mut self,
+        geo: &Geometry,
+        addr: BlockAddr,
+        lwl: LwlId,
+        data: &[u64],
+    ) -> Result<()> {
+        let per_wl = geo.pages_per_lwl();
+        if data.len() != per_wl as usize {
+            return Err(FlashError::DataLengthMismatch { expected: per_wl, got: data.len() });
+        }
+        match self.phase {
+            BlockPhase::Fresh => return Err(FlashError::ProgramOnUnerased { addr }),
+            BlockPhase::Full => return Err(FlashError::BlockFull { addr }),
+            BlockPhase::Erased | BlockPhase::Open => {}
+        }
+        if lwl != self.next_lwl {
+            return Err(FlashError::ProgramOutOfOrder { addr, expected: self.next_lwl, got: lwl });
+        }
+        let total = (geo.pages_per_block()) as usize;
+        let pages = self.pages.get_or_insert_with(|| vec![0u64; total].into_boxed_slice());
+        let base = (lwl.0 * per_wl) as usize;
+        pages[base..base + per_wl as usize].copy_from_slice(data);
+        self.next_lwl = LwlId(lwl.0 + 1);
+        self.phase = if self.next_lwl.0 == geo.lwls_per_block() { BlockPhase::Full } else { BlockPhase::Open };
+        Ok(())
+    }
+
+    pub(crate) fn read_page(&self, geo: &Geometry, page: PageAddr) -> Result<u64> {
+        let lwl = page.wl.lwl;
+        let programmed = match self.phase {
+            BlockPhase::Full => true,
+            BlockPhase::Open => lwl < self.next_lwl,
+            BlockPhase::Fresh | BlockPhase::Erased => false,
+        };
+        if !programmed {
+            return Err(FlashError::ReadUnwritten { page });
+        }
+        let pages = self.pages.as_ref().ok_or(FlashError::ReadUnwritten { page })?;
+        let idx = (lwl.0 * geo.pages_per_lwl() + page.page.index()) as usize;
+        Ok(pages[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BlockId, ChipId, PageType, PlaneId};
+
+    fn geo() -> Geometry {
+        Geometry::small_test()
+    }
+
+    fn addr() -> BlockAddr {
+        BlockAddr::new(ChipId(0), PlaneId(0), BlockId(0))
+    }
+
+    #[test]
+    fn fresh_block_rejects_program() {
+        let g = geo();
+        let mut b = BlockState::default();
+        let data = vec![1; g.pages_per_lwl() as usize];
+        assert_eq!(
+            b.program_wl(&g, addr(), LwlId(0), &data),
+            Err(FlashError::ProgramOnUnerased { addr: addr() })
+        );
+    }
+
+    #[test]
+    fn program_must_be_sequential() {
+        let g = geo();
+        let mut b = BlockState::default();
+        b.erase();
+        let data = vec![1; g.pages_per_lwl() as usize];
+        b.program_wl(&g, addr(), LwlId(0), &data).unwrap();
+        let err = b.program_wl(&g, addr(), LwlId(2), &data).unwrap_err();
+        assert!(matches!(err, FlashError::ProgramOutOfOrder { expected: LwlId(1), got: LwlId(2), .. }));
+    }
+
+    #[test]
+    fn full_block_rejects_more_programs() {
+        let g = geo();
+        let mut b = BlockState::default();
+        b.erase();
+        let data = vec![1; g.pages_per_lwl() as usize];
+        for lwl in g.lwls() {
+            b.program_wl(&g, addr(), lwl, &data).unwrap();
+        }
+        assert_eq!(b.phase, BlockPhase::Full);
+        let err = b.program_wl(&g, addr(), LwlId(0), &data).unwrap_err();
+        assert!(matches!(err, FlashError::BlockFull { .. }));
+    }
+
+    #[test]
+    fn read_returns_programmed_data() {
+        let g = geo();
+        let mut b = BlockState::default();
+        b.erase();
+        b.program_wl(&g, addr(), LwlId(0), &[10, 20, 30]).unwrap();
+        let wl = addr().wl(LwlId(0));
+        assert_eq!(b.read_page(&g, wl.page(PageType::Lsb)).unwrap(), 10);
+        assert_eq!(b.read_page(&g, wl.page(PageType::Csb)).unwrap(), 20);
+        assert_eq!(b.read_page(&g, wl.page(PageType::Msb)).unwrap(), 30);
+    }
+
+    #[test]
+    fn read_of_unwritten_page_fails() {
+        let g = geo();
+        let mut b = BlockState::default();
+        b.erase();
+        b.program_wl(&g, addr(), LwlId(0), &[1, 2, 3]).unwrap();
+        let err = b.read_page(&g, addr().wl(LwlId(1)).page(PageType::Lsb)).unwrap_err();
+        assert!(matches!(err, FlashError::ReadUnwritten { .. }));
+    }
+
+    #[test]
+    fn erase_clears_data_and_counts_wear() {
+        let g = geo();
+        let mut b = BlockState::default();
+        b.erase();
+        b.program_wl(&g, addr(), LwlId(0), &[1, 2, 3]).unwrap();
+        b.erase();
+        assert_eq!(b.wear.pe_cycles(), 2);
+        assert_eq!(b.phase, BlockPhase::Erased);
+        assert!(b.read_page(&g, addr().wl(LwlId(0)).page(PageType::Lsb)).is_err());
+    }
+
+    #[test]
+    fn wrong_data_length_rejected() {
+        let g = geo();
+        let mut b = BlockState::default();
+        b.erase();
+        let err = b.program_wl(&g, addr(), LwlId(0), &[1, 2]).unwrap_err();
+        assert_eq!(err, FlashError::DataLengthMismatch { expected: 3, got: 2 });
+    }
+}

@@ -1,0 +1,170 @@
+//! Top-level flash configuration: geometry + variation parameters.
+
+use crate::geometry::Geometry;
+use crate::ids::CellType;
+use crate::variation::VariationConfig;
+
+/// Complete configuration of a flash array.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlashConfig {
+    /// Physical shape of the array.
+    pub geometry: Geometry,
+    /// Process-variation and timing parameters.
+    pub variation: VariationConfig,
+}
+
+impl FlashConfig {
+    /// Configuration mirroring the paper's experimental platform: 4 pools of
+    /// 1,600 TLC blocks with 96 layers × 4 strings (§VI-A, Table IV).
+    #[must_use]
+    pub fn paper_platform() -> Self {
+        FlashConfig { geometry: Geometry::paper_platform(), variation: VariationConfig::default() }
+    }
+
+    /// A small configuration for fast unit tests.
+    #[must_use]
+    pub fn small_test() -> Self {
+        FlashConfig { geometry: Geometry::small_test(), variation: VariationConfig::default() }
+    }
+
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> FlashConfigBuilder {
+        FlashConfigBuilder::default()
+    }
+}
+
+/// Builder for [`FlashConfig`].
+///
+/// ```
+/// use flash_model::{FlashConfig, CellType};
+///
+/// let config = FlashConfig::builder()
+///     .chips(4)
+///     .blocks_per_plane(200)
+///     .pwl_layers(48)
+///     .strings(4)
+///     .cell(CellType::Tlc)
+///     .build();
+/// assert_eq!(config.geometry.lwls_per_block(), 192);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashConfigBuilder {
+    chips: u16,
+    planes_per_chip: u16,
+    blocks_per_plane: u32,
+    pwl_layers: u16,
+    strings: u16,
+    cell: CellType,
+    variation: VariationConfig,
+}
+
+impl Default for FlashConfigBuilder {
+    fn default() -> Self {
+        let g = Geometry::paper_platform();
+        FlashConfigBuilder {
+            chips: g.chips(),
+            planes_per_chip: g.planes_per_chip(),
+            blocks_per_plane: g.blocks_per_plane(),
+            pwl_layers: g.pwl_layers(),
+            strings: g.strings(),
+            cell: g.cell(),
+            variation: VariationConfig::default(),
+        }
+    }
+}
+
+impl FlashConfigBuilder {
+    /// Sets the number of chips.
+    #[must_use]
+    pub fn chips(mut self, chips: u16) -> Self {
+        self.chips = chips;
+        self
+    }
+
+    /// Sets the number of planes per chip.
+    #[must_use]
+    pub fn planes_per_chip(mut self, planes: u16) -> Self {
+        self.planes_per_chip = planes;
+        self
+    }
+
+    /// Sets the number of blocks per plane.
+    #[must_use]
+    pub fn blocks_per_plane(mut self, blocks: u32) -> Self {
+        self.blocks_per_plane = blocks;
+        self
+    }
+
+    /// Sets the number of physical word-line layers.
+    #[must_use]
+    pub fn pwl_layers(mut self, layers: u16) -> Self {
+        self.pwl_layers = layers;
+        self
+    }
+
+    /// Sets the number of strings per block.
+    #[must_use]
+    pub fn strings(mut self, strings: u16) -> Self {
+        self.strings = strings;
+        self
+    }
+
+    /// Sets the cell technology.
+    #[must_use]
+    pub fn cell(mut self, cell: CellType) -> Self {
+        self.cell = cell;
+        self
+    }
+
+    /// Replaces the variation parameters.
+    #[must_use]
+    pub fn variation(mut self, variation: VariationConfig) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Builds the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry dimension is zero (see [`Geometry::new`]).
+    #[must_use]
+    pub fn build(self) -> FlashConfig {
+        FlashConfig {
+            geometry: Geometry::new(
+                self.chips,
+                self.planes_per_chip,
+                self.blocks_per_plane,
+                self.pwl_layers,
+                self.strings,
+                self.cell,
+            ),
+            variation: self.variation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper_platform() {
+        assert_eq!(FlashConfig::builder().build(), FlashConfig::paper_platform());
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let c = FlashConfig::builder().chips(2).blocks_per_plane(10).build();
+        assert_eq!(c.geometry.chips(), 2);
+        assert_eq!(c.geometry.blocks_per_plane(), 10);
+    }
+
+    #[test]
+    fn variation_override_applies() {
+        let v = VariationConfig { noise_sigma_us: 0.0, ..VariationConfig::default() };
+        let c = FlashConfig::builder().variation(v.clone()).build();
+        assert_eq!(c.variation, v);
+    }
+}

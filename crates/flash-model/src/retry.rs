@@ -1,0 +1,105 @@
+//! Read-retry model: how worn, retention-aged pages pay extra sensing
+//! rounds.
+//!
+//! LDPC-based controllers re-read a page with shifted reference voltages
+//! when the first sense fails to converge. The number of retries grows with
+//! the raw bit error rate, which the paper's §VI-C sensitivity study drives
+//! up via P/E cycling. This model maps expected error bits to a retry count
+//! and a latency multiplier.
+
+/// Maps raw-bit-error expectations to retry counts and read latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryModel {
+    /// Error bits the hard-decision ECC corrects without retries.
+    pub correctable_bits: f64,
+    /// Fractional ECC headroom each retry level adds.
+    pub gain_per_retry: f64,
+    /// Hard cap on retry rounds (beyond this the page is failed/refreshed).
+    pub max_retries: u32,
+    /// Extra sensing latency per retry, µs.
+    pub retry_step_us: f64,
+}
+
+impl Default for RetryModel {
+    fn default() -> Self {
+        // 16 KB page with ~1% correctable budget, seven retry levels.
+        RetryModel {
+            correctable_bits: 1300.0,
+            gain_per_retry: 0.45,
+            max_retries: 7,
+            retry_step_us: 45.0,
+        }
+    }
+}
+
+impl RetryModel {
+    /// Retry rounds needed for a page with `expected_error_bits`.
+    #[must_use]
+    pub fn retries(&self, expected_error_bits: f64) -> u32 {
+        if expected_error_bits <= self.correctable_bits {
+            return 0;
+        }
+        let excess = expected_error_bits / self.correctable_bits - 1.0;
+        let rounds = (excess / self.gain_per_retry).ceil() as u32;
+        rounds.clamp(1, self.max_retries)
+    }
+
+    /// Whether the page is beyond even the deepest retry level and must be
+    /// refreshed or retired.
+    #[must_use]
+    pub fn is_uncorrectable(&self, expected_error_bits: f64) -> bool {
+        let max_budget =
+            self.correctable_bits * (1.0 + self.gain_per_retry * f64::from(self.max_retries));
+        expected_error_bits > max_budget
+    }
+
+    /// Total read latency including retries, µs.
+    #[must_use]
+    pub fn read_latency_us(&self, base_us: f64, expected_error_bits: f64) -> f64 {
+        base_us + f64::from(self.retries(expected_error_bits)) * self.retry_step_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_pages_need_no_retries() {
+        let m = RetryModel::default();
+        assert_eq!(m.retries(100.0), 0);
+        assert_eq!(m.read_latency_us(58.0, 100.0), 58.0);
+        assert!(!m.is_uncorrectable(100.0));
+    }
+
+    #[test]
+    fn retries_grow_with_error_bits() {
+        let m = RetryModel::default();
+        let r1 = m.retries(1500.0);
+        let r2 = m.retries(3000.0);
+        assert!(r1 >= 1);
+        assert!(r2 > r1, "{r1} vs {r2}");
+    }
+
+    #[test]
+    fn retries_are_capped() {
+        let m = RetryModel::default();
+        assert_eq!(m.retries(1e9), m.max_retries);
+    }
+
+    #[test]
+    fn latency_adds_one_step_per_retry() {
+        let m = RetryModel::default();
+        let retries = m.retries(2000.0);
+        let lat = m.read_latency_us(58.0, 2000.0);
+        assert!((lat - 58.0 - f64::from(retries) * 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrectable_beyond_deepest_retry() {
+        let m = RetryModel::default();
+        let edge = m.correctable_bits * (1.0 + m.gain_per_retry * f64::from(m.max_retries));
+        assert!(!m.is_uncorrectable(edge * 0.99));
+        assert!(m.is_uncorrectable(edge * 1.01));
+    }
+}

@@ -1,0 +1,283 @@
+//! Process-variation parameters and the string-mask type.
+//!
+//! Every knob of the synthetic silicon lives here so experiments (and the
+//! calibration harness) can ablate individual variation sources. Units are
+//! microseconds unless stated otherwise. The defaults are calibrated so the
+//! paper-platform geometry reproduces the paper's headline numbers (random
+//! assembly: ≈13,084 µs extra program latency and ≈41.7 µs extra erase
+//! latency per superblock; see `EXPERIMENTS.md`).
+
+/// Bit mask over the strings of one physical word-line layer.
+///
+/// Bit `s` set means string `s` is *fast* on that layer. The paper's
+/// STR-median quantization marks the fastest two of four strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StringMask(pub u8);
+
+impl StringMask {
+    /// Mask with the given strings set.
+    #[must_use]
+    pub fn from_strings(strings: &[u16]) -> Self {
+        let mut m = 0u8;
+        for &s in strings {
+            assert!(s < 8, "StringMask supports up to 8 strings");
+            m |= 1 << s;
+        }
+        StringMask(m)
+    }
+
+    /// Whether string `s` is marked fast.
+    #[must_use]
+    pub fn contains(self, s: u16) -> bool {
+        s < 8 && self.0 & (1 << s) != 0
+    }
+
+    /// Number of fast strings.
+    #[must_use]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl std::fmt::Display for StringMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04b}", self.0)
+    }
+}
+
+/// All process-variation and timing knobs of the synthetic flash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationConfig {
+    // --- program path ---
+    /// ISPP pulse quantum: program latencies land on this grid.
+    pub pulse_us: f64,
+    /// Mean word-line program latency at the center of the layer curve.
+    pub prog_base_us: f64,
+    /// Amplitude of the V-shaped layer curve (top layers slower than middle).
+    pub layer_curve_amp_us: f64,
+    /// Number of adjacent layers sharing one vendor parameter group.
+    pub layer_group_size: u16,
+    /// σ of the per-chip, per-layer-group operating-parameter offset.
+    /// This is the chip-to-chip profile variation no assembly can remove.
+    pub layer_group_sigma_us: f64,
+    /// σ of the constant per-chip offset.
+    pub chip_offset_sigma_us: f64,
+    /// σ of the per-block speed deviation.
+    pub block_sigma_us: f64,
+    /// Correlation length (in block indices) of the smooth spatial component
+    /// of block speed; produces Figure 5's flat runs.
+    pub block_corr_len: u32,
+    /// Fraction (0..1) of block-speed variance carried by the smooth term.
+    pub block_corr_weight: f64,
+    /// Fraction (0..1) of block-speed variance *shared across chips* at the
+    /// same block index (manufacturing-position similarity). This is what the
+    /// paper's sequential assembly exploits.
+    pub block_shared_frac: f64,
+    /// Probability a block is a slow outlier (Figure 5's spikes).
+    pub outlier_prob: f64,
+    /// Mean extra latency of outlier blocks (exponential tail).
+    pub outlier_extra_us: f64,
+    /// Number of string-pattern families blocks draw from.
+    pub pattern_families: u32,
+    /// Extra latency of a slow string relative to a fast string.
+    pub pattern_penalty_us: f64,
+    /// Per-layer probability that a block deviates from its family pattern.
+    pub pattern_flip_prob: f64,
+    /// Correlation length (block indices) of the family id along a plane.
+    pub pattern_corr_len: u32,
+    /// Probability (0..1) that a block's pattern family is the index-shared
+    /// one rather than a chip-local one.
+    pub pattern_shared_frac: f64,
+    /// σ of per-word-line i.i.d. noise.
+    pub noise_sigma_us: f64,
+
+    // --- erase path ---
+    /// Mean block erase latency.
+    pub ers_base_us: f64,
+    /// Erase-loop quantum: erase latencies land on this grid.
+    pub ers_quantum_us: f64,
+    /// σ of the per-chip erase offset.
+    pub ers_chip_sigma_us: f64,
+    /// σ of the per-block erase deviation.
+    pub ers_block_sigma_us: f64,
+    /// Correlation between a block's erase deviation and its program speed.
+    /// Sorting by program latency partially unifies erase latency through
+    /// this channel (the paper's Table V erase improvements).
+    pub ers_pgm_corr: f64,
+    /// σ of per-erase noise.
+    pub ers_noise_sigma_us: f64,
+    /// Probability of an erase outlier block.
+    pub ers_outlier_prob: f64,
+    /// Mean extra erase latency of outlier blocks.
+    pub ers_outlier_extra_us: f64,
+
+    // --- wear (P/E cycling) ---
+    /// Program latency decrease per 1,000 P/E cycles (worn cells program faster).
+    pub wear_prog_slope_us_per_kpe: f64,
+    /// Erase latency increase per 1,000 P/E cycles.
+    pub wear_ers_slope_us_per_kpe: f64,
+    /// Multiplicative noise growth per 1,000 P/E cycles.
+    pub wear_noise_growth_per_kpe: f64,
+
+    // --- read path ---
+    /// Base page read latency.
+    pub read_base_us: f64,
+    /// Extra read latency per page-significance step (LSB fastest).
+    pub read_page_step_us: f64,
+    /// σ of per-read noise.
+    pub read_noise_sigma_us: f64,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        VariationConfig {
+            pulse_us: 18.4,
+            prog_base_us: 1740.0,
+            layer_curve_amp_us: 140.0,
+            layer_group_size: 8,
+            layer_group_sigma_us: 10.5,
+            chip_offset_sigma_us: 6.0,
+            block_sigma_us: 8.0,
+            block_corr_len: 24,
+            block_corr_weight: 0.55,
+            block_shared_frac: 0.25,
+            outlier_prob: 0.004,
+            outlier_extra_us: 30.0,
+            pattern_families: 4,
+            pattern_penalty_us: 18.4,
+            pattern_flip_prob: 0.04,
+            pattern_corr_len: 32,
+            pattern_shared_frac: 0.75,
+            noise_sigma_us: 6.5,
+
+            ers_base_us: 3500.0,
+            ers_quantum_us: 6.0,
+            ers_chip_sigma_us: 8.0,
+            ers_block_sigma_us: 19.0,
+            ers_pgm_corr: 0.97,
+            ers_noise_sigma_us: 1.5,
+            ers_outlier_prob: 0.004,
+            ers_outlier_extra_us: 80.0,
+
+            wear_prog_slope_us_per_kpe: 25.0,
+            wear_ers_slope_us_per_kpe: 60.0,
+            wear_noise_growth_per_kpe: 0.03,
+
+            read_base_us: 58.0,
+            read_page_step_us: 14.0,
+            read_noise_sigma_us: 1.5,
+        }
+    }
+}
+
+impl VariationConfig {
+    /// A configuration with every variation source disabled: all blocks
+    /// identical. Useful as an experimental control.
+    #[must_use]
+    pub fn uniform() -> Self {
+        VariationConfig {
+            layer_group_sigma_us: 0.0,
+            chip_offset_sigma_us: 0.0,
+            block_sigma_us: 0.0,
+            outlier_prob: 0.0,
+            pattern_penalty_us: 0.0,
+            pattern_flip_prob: 0.0,
+            noise_sigma_us: 0.0,
+            ers_chip_sigma_us: 0.0,
+            ers_block_sigma_us: 0.0,
+            ers_noise_sigma_us: 0.0,
+            ers_outlier_prob: 0.0,
+            read_noise_sigma_us: 0.0,
+            ..VariationConfig::default()
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("outlier_prob", self.outlier_prob),
+            ("pattern_flip_prob", self.pattern_flip_prob),
+            ("ers_outlier_prob", self.ers_outlier_prob),
+            ("block_corr_weight", self.block_corr_weight),
+            ("block_shared_frac", self.block_shared_frac),
+            ("pattern_shared_frac", self.pattern_shared_frac),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0,1], got {p}"));
+            }
+        }
+        if !(-1.0..=1.0).contains(&self.ers_pgm_corr) {
+            return Err(format!("ers_pgm_corr must be in [-1,1], got {}", self.ers_pgm_corr));
+        }
+        if self.pulse_us <= 0.0 || self.ers_quantum_us <= 0.0 {
+            return Err("quantum sizes must be positive".to_string());
+        }
+        if self.layer_group_size == 0 {
+            return Err("layer_group_size must be positive".to_string());
+        }
+        if self.pattern_families == 0 {
+            return Err("pattern_families must be positive".to_string());
+        }
+        for (name, v) in [
+            ("prog_base_us", self.prog_base_us),
+            ("ers_base_us", self.ers_base_us),
+            ("read_base_us", self.read_base_us),
+        ] {
+            if v <= 0.0 {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        VariationConfig::default().validate().unwrap();
+        VariationConfig::uniform().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_probability() {
+        let cfg = VariationConfig { outlier_prob: 1.5, ..VariationConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_correlation() {
+        let cfg = VariationConfig { ers_pgm_corr: -2.0, ..VariationConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_quantum() {
+        let cfg = VariationConfig { pulse_us: 0.0, ..VariationConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn string_mask_basics() {
+        let m = StringMask::from_strings(&[0, 3]);
+        assert!(m.contains(0));
+        assert!(!m.contains(1));
+        assert!(!m.contains(2));
+        assert!(m.contains(3));
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.to_string(), "1001");
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 8 strings")]
+    fn string_mask_rejects_wide_strings() {
+        let _ = StringMask::from_strings(&[8]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the latency model's invariants.
+
+use flash_model::{
+    BlockAddr, BlockId, CellType, ChipId, FlashArray, FlashConfig, Geometry, LwlId, PlaneId,
+    PwlLayer, Sampler, VariationConfig,
+};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    (1u16..5, 1u16..3, 1u32..20, 1u16..12, prop_oneof![Just(2u16), Just(4u16)]).prop_map(
+        |(chips, planes, blocks, layers, strings)| {
+            Geometry::new(chips, planes, blocks, layers, strings, CellType::Tlc)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn latencies_are_deterministic_and_positive(seed in any::<u64>(), geo in arb_geometry()) {
+        let m1 = flash_model::LatencyModel::new(geo.clone(), VariationConfig::default(), seed);
+        let m2 = flash_model::LatencyModel::new(geo.clone(), VariationConfig::default(), seed);
+        for addr in geo.blocks().take(8) {
+            prop_assert_eq!(m1.erase_latency_us(addr, 0), m2.erase_latency_us(addr, 0));
+            prop_assert!(m1.erase_latency_us(addr, 0) > 0.0);
+            for lwl in geo.lwls().take(8) {
+                let t1 = m1.program_latency_us(addr.wl(lwl), 0);
+                prop_assert_eq!(t1, m2.program_latency_us(addr.wl(lwl), 0));
+                prop_assert!(t1 > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn program_latency_is_quantized(seed in any::<u64>(), geo in arb_geometry()) {
+        let m = flash_model::LatencyModel::new(geo.clone(), VariationConfig::default(), seed);
+        let q = m.variation().pulse_us;
+        for addr in geo.blocks().take(4) {
+            for lwl in geo.lwls().take(8) {
+                let t = m.program_latency_us(addr.wl(lwl), 0);
+                let ratio = t / q;
+                prop_assert!((ratio - ratio.round()).abs() < 1e-9, "{} not on grid", t);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_strings_mark_exactly_half((seed, geo) in (any::<u64>(), arb_geometry())) {
+        let m = flash_model::LatencyModel::new(geo.clone(), VariationConfig::default(), seed);
+        let expect = u32::from(geo.strings() / 2).max(1);
+        for addr in geo.blocks().take(4) {
+            for l in 0..geo.pwl_layers() {
+                prop_assert_eq!(m.fast_strings(addr, PwlLayer(l)).count(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_ranges_hold(seed in any::<u64>(), tags in proptest::collection::vec(any::<u64>(), 0..5), n in 1usize..100) {
+        let s = Sampler::new(seed);
+        let u = s.uniform(&tags);
+        prop_assert!((0.0..1.0).contains(&u));
+        prop_assert!(s.choice(n, &tags) < n);
+        prop_assert!(s.normal(&tags).is_finite());
+        prop_assert!(s.exponential(2.0, &tags) >= 0.0);
+    }
+
+    #[test]
+    fn geometry_lwl_roundtrip(geo in arb_geometry(), lwl_idx in 0u32..100) {
+        let lwl = LwlId(lwl_idx % geo.lwls_per_block());
+        let layer = geo.layer_of(lwl);
+        let string = geo.string_of(lwl);
+        prop_assert_eq!(geo.lwl_of(layer, string), lwl);
+    }
+
+    #[test]
+    fn erase_program_lifecycle_always_legal(seed in any::<u64>(), geo in arb_geometry()) {
+        let mut array = FlashArray::new(
+            FlashConfig { geometry: geo.clone(), variation: VariationConfig::default() },
+            seed,
+        );
+        let addr = BlockAddr::new(ChipId(0), PlaneId(0), BlockId(0));
+        let payload = vec![7u64; geo.pages_per_lwl() as usize];
+        // Program before erase must fail; after erase the whole block must
+        // program in order and then be fully readable.
+        prop_assert!(array.program_wl(addr.wl(LwlId(0)), &payload).is_err());
+        array.erase_block(addr).unwrap();
+        for lwl in geo.lwls() {
+            array.program_wl(addr.wl(lwl), &payload).unwrap();
+        }
+        prop_assert!(array.program_wl(addr.wl(LwlId(0)), &payload).is_err());
+        let (data, _) = array
+            .read_page(addr.wl(LwlId(geo.lwls_per_block() - 1)).page(flash_model::PageType::Lsb))
+            .unwrap();
+        prop_assert_eq!(data, 7);
+    }
+
+    #[test]
+    fn uniform_variation_means_identical_blocks(seed in any::<u64>()) {
+        let geo = Geometry::small_test();
+        let m = flash_model::LatencyModel::new(geo.clone(), VariationConfig::uniform(), seed);
+        let reference = m.block_program_sum_us(BlockAddr::new(ChipId(0), PlaneId(0), BlockId(0)), 0);
+        for addr in geo.blocks().take(16) {
+            prop_assert_eq!(m.block_program_sum_us(addr, 0), reference);
+        }
+    }
+
+    #[test]
+    fn wear_speeds_programs_and_slows_erases_on_average(seed in any::<u64>()) {
+        let geo = Geometry::small_test();
+        let m = flash_model::LatencyModel::new(geo.clone(), VariationConfig::default(), seed);
+        let sum = |pe: u32| -> (f64, f64) {
+            let mut prog = 0.0;
+            let mut ers = 0.0;
+            for addr in geo.blocks().take(32) {
+                prog += m.block_program_sum_us(addr, pe);
+                ers += m.erase_latency_us(addr, pe);
+            }
+            (prog, ers)
+        };
+        let (p0, e0) = sum(0);
+        let (p3, e3) = sum(3000);
+        prop_assert!(p3 < p0, "programs should get faster with wear");
+        prop_assert!(e3 > e0, "erases should get slower with wear");
+    }
+}

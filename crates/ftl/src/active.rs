@@ -1,0 +1,236 @@
+//! Open (actively written) superblocks: staging buffer, super word-line
+//! write pointer and runtime gathering.
+
+use crate::Result;
+use flash_model::{BlockAddr, FlashArray, MpOutcome, PageAddr, PageType, WlAddr};
+use pvcheck::gather::BlockGatherer;
+use pvcheck::BlockSummary;
+
+/// Payload tag marking a padding page that stores no logical data.
+pub(crate) const FILLER: u64 = u64::MAX;
+
+/// One open superblock being filled super-word-line by super-word-line.
+#[derive(Debug)]
+pub(crate) struct ActiveSuperblock {
+    pub members: Vec<BlockAddr>,
+    next_lwl: u32,
+    lwls_per_block: u32,
+    pages_per_lwl: u32,
+    staging: Vec<u64>,
+    gatherers: Vec<BlockGatherer>,
+}
+
+impl ActiveSuperblock {
+    pub(crate) fn new(
+        members: Vec<BlockAddr>,
+        strings: u16,
+        layers: u16,
+        pages_per_lwl: u32,
+    ) -> Self {
+        let gatherers =
+            members.iter().map(|&a| BlockGatherer::new(a, strings, layers)).collect();
+        ActiveSuperblock {
+            members,
+            next_lwl: 0,
+            lwls_per_block: u32::from(strings) * u32::from(layers),
+            pages_per_lwl,
+            staging: Vec::new(),
+            gatherers,
+        }
+    }
+
+    /// Pages one super word-line holds.
+    pub(crate) fn superwl_pages(&self) -> usize {
+        self.members.len() * self.pages_per_lwl as usize
+    }
+
+    /// Whether every word-line has been programmed.
+    pub(crate) fn is_full(&self) -> bool {
+        self.next_lwl == self.lwls_per_block
+    }
+
+    /// Whether a staged (not yet programmed) copy of `lpn` exists.
+    pub(crate) fn has_staged(&self, lpn: u64) -> bool {
+        self.staging.contains(&lpn)
+    }
+
+    /// Stages one logical page; returns `true` when a full super word-line
+    /// is buffered and must be programmed.
+    pub(crate) fn stage(&mut self, lpn: u64) -> bool {
+        debug_assert!(!self.is_full(), "staging into a full superblock");
+        self.staging.push(lpn);
+        self.staging.len() >= self.superwl_pages()
+    }
+
+    /// Replaces any staged copies of `lpn` with filler (trim of a buffered
+    /// page); returns whether anything was discarded.
+    pub(crate) fn discard_staged(&mut self, lpn: u64) -> bool {
+        let mut hit = false;
+        for slot in &mut self.staging {
+            if *slot == lpn {
+                *slot = FILLER;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Whether any pages await programming.
+    pub(crate) fn has_staged_pages(&self) -> bool {
+        !self.staging.is_empty()
+    }
+
+    /// Pads the staging buffer with filler pages up to one super word-line.
+    pub(crate) fn pad(&mut self) {
+        let target = self.superwl_pages();
+        while self.staging.len() < target {
+            self.staging.push(FILLER);
+        }
+    }
+
+    /// Programs the next super word-line from the staging buffer.
+    ///
+    /// Returns the page assignments `(lpn, physical page)` for every
+    /// non-filler page plus the multi-plane command outcome. The staging
+    /// buffer must hold exactly one super word-line (use [`Self::pad`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors (which indicate FTL invariant bugs).
+    pub(crate) fn program_superwl(
+        &mut self,
+        array: &mut FlashArray,
+    ) -> Result<(Vec<(u64, PageAddr)>, MpOutcome)> {
+        debug_assert_eq!(self.staging.len(), self.superwl_pages());
+        debug_assert!(!self.is_full());
+        let ppl = self.pages_per_lwl as usize;
+        let members = self.members.len();
+        let lwl = flash_model::LwlId(self.next_lwl);
+        let wls: Vec<WlAddr> = self.members.iter().map(|&m| m.wl(lwl)).collect();
+        // Page-major striping: staged page `i` lands on member `i % members`
+        // as page `i / members`, so consecutive host pages form a *superpage*
+        // (one page per chip) and read back in parallel.
+        let payloads_owned: Vec<Vec<u64>> = (0..members)
+            .map(|m| (0..ppl).map(|k| self.staging[k * members + m]).collect())
+            .collect();
+        let payloads: Vec<&[u64]> = payloads_owned.iter().map(Vec::as_slice).collect();
+        let outcome = array.mp_program(&wls, &payloads)?;
+        // Feed the gatherers with each member's observed latency.
+        for (g, &lat) in self.gatherers.iter_mut().zip(&outcome.member_us) {
+            g.record(self.next_lwl, lat).expect("gather follows program order");
+        }
+        // Compute page assignments.
+        let cell = array.geometry().cell();
+        let mut assignments = Vec::new();
+        for (m, &wl) in wls.iter().enumerate() {
+            for k in 0..ppl {
+                let lpn = self.staging[k * members + m];
+                if lpn != FILLER {
+                    let pt = PageType::from_index(cell, k as u32).expect("k < pages_per_lwl");
+                    assignments.push((lpn, wl.page(pt)));
+                }
+            }
+        }
+        self.staging.clear();
+        self.next_lwl += 1;
+        Ok((assignments, outcome))
+    }
+
+    /// Consumes the superblock when full, yielding each member's gathered
+    /// summary.
+    pub(crate) fn finish(self) -> Vec<BlockSummary> {
+        debug_assert!(self.is_full());
+        self.gatherers
+            .into_iter()
+            .map(|g| g.finish().expect("full superblock implies complete gatherers"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_model::{BlockId, ChipId, FlashConfig, PlaneId};
+
+    fn setup() -> (FlashArray, ActiveSuperblock) {
+        let config = FlashConfig::builder()
+            .chips(4)
+            .blocks_per_plane(4)
+            .pwl_layers(2)
+            .strings(4)
+            .build();
+        let mut array = FlashArray::new(config, 1);
+        let members: Vec<BlockAddr> =
+            (0..4).map(|c| BlockAddr::new(ChipId(c), PlaneId(0), BlockId(0))).collect();
+        for &m in &members {
+            array.erase_block(m).unwrap();
+        }
+        let active = ActiveSuperblock::new(members, 4, 2, 3);
+        (array, active)
+    }
+
+    #[test]
+    fn stage_reports_full_superwl() {
+        let (_, mut a) = setup();
+        assert_eq!(a.superwl_pages(), 12);
+        for i in 0..11 {
+            assert!(!a.stage(i));
+        }
+        assert!(a.stage(11));
+    }
+
+    #[test]
+    fn program_assigns_every_non_filler_page() {
+        let (mut array, mut a) = setup();
+        for i in 0..11 {
+            a.stage(i);
+        }
+        a.stage(FILLER);
+        a.pad();
+        let (assignments, outcome) = a.program_superwl(&mut array).unwrap();
+        assert_eq!(assignments.len(), 11);
+        assert_eq!(outcome.member_us.len(), 4);
+        assert!(outcome.extra_us >= 0.0);
+        // Check one assignment is readable with the right tag.
+        let (lpn, ppa) = assignments[5];
+        let (tag, _) = array.read_page(ppa).unwrap();
+        assert_eq!(tag, lpn);
+    }
+
+    #[test]
+    fn full_superblock_finishes_with_summaries() {
+        let (mut array, mut a) = setup();
+        let wls = 8; // 2 layers x 4 strings
+        for wl in 0..wls as u64 {
+            for p in 0..12 {
+                a.stage(wl * 12 + p);
+            }
+            a.program_superwl(&mut array).unwrap();
+        }
+        assert!(a.is_full());
+        let summaries = a.finish();
+        assert_eq!(summaries.len(), 4);
+        for s in &summaries {
+            assert_eq!(s.eigen.len(), 8);
+            assert!(s.pgm_sum_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn has_staged_sees_buffered_pages() {
+        let (_, mut a) = setup();
+        a.stage(42);
+        assert!(a.has_staged(42));
+        assert!(!a.has_staged(43));
+        assert!(a.has_staged_pages());
+    }
+
+    #[test]
+    fn pad_fills_to_superwl_boundary() {
+        let (_, mut a) = setup();
+        a.stage(1);
+        a.pad();
+        assert_eq!(a.superwl_pages(), 12);
+        assert!(a.has_staged(FILLER));
+    }
+}

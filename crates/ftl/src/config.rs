@@ -1,0 +1,169 @@
+//! FTL configuration.
+
+use crate::gc::GcPolicy;
+use flash_model::FlashConfig;
+
+/// How free blocks are organized into superblocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrganizationScheme {
+    /// Arbitrary grouping (the baseline FTL).
+    #[default]
+    Random,
+    /// Same block offset on every chip (what many production FTLs do).
+    Sequential,
+    /// The paper's scheme: sorted lists + eigen matching, on demand.
+    QstrMed {
+        /// Candidate-list depth per other chip (the paper uses 4).
+        candidates: usize,
+    },
+}
+
+/// Where written data is placed (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementPolicy {
+    /// All writes share one open superblock class.
+    Unified,
+    /// Function-based placement: host writes → fast superblocks,
+    /// garbage-collection relocations → slow superblocks.
+    #[default]
+    FunctionBased,
+}
+
+/// Full configuration of the simulated SSD.
+#[derive(Debug, Clone)]
+pub struct FtlConfig {
+    /// Underlying flash array.
+    pub flash: FlashConfig,
+    /// Fraction of physical pages *not* exported as logical capacity.
+    pub overprovision: f64,
+    /// Run garbage collection when fewer than this many superblocks can
+    /// still be assembled from free blocks.
+    pub gc_low_watermark: usize,
+    /// Stop garbage collection once this many superblocks are assemblable.
+    pub gc_high_watermark: usize,
+    /// Garbage-collection victim selection policy.
+    pub gc_policy: GcPolicy,
+    /// Wear-leveling alarm threshold (max-min erase count).
+    pub wear_threshold: u32,
+    /// Superblock organization strategy.
+    pub scheme: OrganizationScheme,
+    /// Data placement policy.
+    pub placement: PlacementPolicy,
+    /// Per-page host transfer time, µs (bus + controller overhead).
+    pub transfer_us: f64,
+    /// Seed QSTR-MED with profiles from a pre-characterization pass instead
+    /// of warming up from runtime gathering only.
+    pub precharacterize: bool,
+    /// Run garbage collection in idle gaps of timed runs (reduces
+    /// foreground GC pauses at the cost of background work).
+    pub idle_gc: bool,
+}
+
+impl FtlConfig {
+    /// A small, fast configuration for tests and examples.
+    #[must_use]
+    pub fn small_test() -> Self {
+        FtlConfig {
+            flash: FlashConfig::builder()
+                .chips(4)
+                .planes_per_chip(1)
+                .blocks_per_plane(24)
+                .pwl_layers(8)
+                .strings(4)
+                .build(),
+            overprovision: 0.25,
+            gc_low_watermark: 2,
+            gc_high_watermark: 3,
+            gc_policy: GcPolicy::Greedy,
+            wear_threshold: 32,
+            scheme: OrganizationScheme::Random,
+            placement: PlacementPolicy::FunctionBased,
+            transfer_us: 10.0,
+            precharacterize: true,
+            idle_gc: false,
+        }
+    }
+
+    /// Validates watermarks and ratios.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.05..0.9).contains(&self.overprovision) {
+            return Err(format!("overprovision must be in [0.05, 0.9), got {}", self.overprovision));
+        }
+        if self.gc_low_watermark == 0 {
+            return Err("gc_low_watermark must be at least 1".to_string());
+        }
+        if self.gc_high_watermark <= self.gc_low_watermark {
+            return Err("gc_high_watermark must exceed gc_low_watermark".to_string());
+        }
+        if self.transfer_us < 0.0 {
+            return Err("transfer_us must be non-negative".to_string());
+        }
+        let min_blocks = (self.gc_high_watermark + 2) as u32;
+        if self.flash.geometry.blocks_per_plane() < min_blocks {
+            return Err(format!(
+                "need at least {min_blocks} blocks per plane for the configured watermarks"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        FtlConfig {
+            flash: FlashConfig::paper_platform(),
+            overprovision: 0.15,
+            gc_low_watermark: 4,
+            gc_high_watermark: 8,
+            gc_policy: GcPolicy::Greedy,
+            wear_threshold: 32,
+            scheme: OrganizationScheme::Random,
+            placement: PlacementPolicy::FunctionBased,
+            transfer_us: 10.0,
+            precharacterize: true,
+            idle_gc: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_small_are_valid() {
+        FtlConfig::default().validate().unwrap();
+        FtlConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_overprovision_rejected() {
+        let cfg = FtlConfig { overprovision: 0.95, ..FtlConfig::small_test() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_watermarks_rejected() {
+        let cfg = FtlConfig {
+            gc_low_watermark: 3,
+            gc_high_watermark: 3,
+            ..FtlConfig::small_test()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn too_few_blocks_rejected() {
+        let mut cfg = FtlConfig::small_test();
+        cfg.flash = FlashConfig::builder()
+            .chips(2)
+            .blocks_per_plane(3)
+            .pwl_layers(4)
+            .build();
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,716 @@
+//! The SSD facade: request dispatch, write path, foreground GC and timing.
+
+use crate::active::{ActiveSuperblock, FILLER};
+use crate::config::{FtlConfig, PlacementPolicy};
+use crate::error::FtlError;
+use crate::gc::{select_victim, SealedSuperblock};
+use crate::manager::BlockManager;
+use crate::mapping::Mapping;
+use crate::request::{IoOp, IoRequest};
+use crate::stats::SsdStats;
+use crate::wear_level::WearTracker;
+use crate::Result;
+use flash_model::FlashArray;
+use pvcheck::{Characterizer, SpeedClass};
+
+/// Shape summary handed to workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometryInfo {
+    /// Logical pages exported to the host.
+    pub logical_pages: u64,
+    /// Physical pages in the flash array.
+    pub physical_pages: u64,
+    /// Pages one superblock holds.
+    pub pages_per_superblock: u64,
+}
+
+/// Who generated a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    Host,
+    Gc,
+}
+
+/// The simulated SSD.
+///
+/// See the [crate docs](crate) for the model; construct with [`Ssd::new`],
+/// drive with [`Ssd::run`] or the per-request methods, then inspect
+/// [`Ssd::stats`].
+///
+/// ```
+/// use ftl::{FtlConfig, Ssd};
+///
+/// # fn main() -> ftl::Result<()> {
+/// let mut ssd = Ssd::new(FtlConfig::small_test(), 7)?;
+/// ssd.write(3)?;
+/// assert!(ssd.read(3)?.is_some());
+/// ssd.trim(3)?;
+/// assert!(ssd.read(3)?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Ssd {
+    config: FtlConfig,
+    array: FlashArray,
+    mapping: Mapping,
+    manager: BlockManager,
+    host_active: Option<ActiveSuperblock>,
+    gc_active: Option<ActiveSuperblock>,
+    sealed: Vec<SealedSuperblock>,
+    stats: SsdStats,
+    logical_pages: u64,
+    wear: WearTracker,
+    seal_seq: u64,
+}
+
+impl Ssd {
+    /// Builds the device, optionally pre-characterizing every block so
+    /// QSTR-MED starts warm (the paper's steady-state setting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::InvalidConfig`] for inconsistent configurations.
+    pub fn new(config: FtlConfig, seed: u64) -> Result<Ssd> {
+        config.validate().map_err(|reason| FtlError::InvalidConfig { reason })?;
+        let array = FlashArray::new(config.flash.clone(), seed);
+        let geo = array.geometry().clone();
+        let physical_pages = geo.total_blocks() * u64::from(geo.pages_per_block());
+        let logical_pages = (physical_pages as f64 * (1.0 - config.overprovision)) as u64;
+        let config_wear_threshold = config.wear_threshold;
+        let mut manager = BlockManager::new(&geo, config.scheme, seed ^ 0x5eed);
+        if config.precharacterize {
+            let pool = Characterizer::new(&config.flash).snapshot(array.latency_model(), 0);
+            let strings = geo.strings();
+            for profile in pool.iter() {
+                manager.learn(profile.summary(strings));
+            }
+            manager.promote_known();
+        }
+        Ok(Ssd {
+            config,
+            array,
+            mapping: Mapping::new(logical_pages),
+            manager,
+            host_active: None,
+            gc_active: None,
+            sealed: Vec::new(),
+            stats: SsdStats::default(),
+            logical_pages,
+            wear: WearTracker::new(config_wear_threshold),
+            seal_seq: 0,
+        })
+    }
+
+    /// Shape summary for workload generation.
+    #[must_use]
+    pub fn geometry_info(&self) -> GeometryInfo {
+        let geo = self.array.geometry();
+        let pools = u64::from(geo.chips()) * u64::from(geo.planes_per_chip());
+        GeometryInfo {
+            logical_pages: self.logical_pages,
+            physical_pages: geo.total_blocks() * u64::from(geo.pages_per_block()),
+            pages_per_superblock: pools * u64::from(geo.pages_per_block()),
+        }
+    }
+
+    /// Run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// Total QSTR-MED eigen distance checks (0 for other schemes).
+    #[must_use]
+    pub fn distance_checks(&self) -> u64 {
+        self.manager.distance_checks()
+    }
+
+    /// Executes an open-loop request stream with arrival times: each
+    /// request waits for the device to drain (single command queue), so the
+    /// recorded latencies include queueing delay — GC pauses and slow
+    /// superblocks show up in the tail percentiles.
+    ///
+    /// `requests` must be sorted by arrival time (µs).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing request.
+    pub fn run_timed(&mut self, requests: &[(f64, IoRequest)]) -> Result<()> {
+        let mut device_free_at = 0.0f64;
+        for &(arrival, r) in requests {
+            // Idle-time GC: use gaps before the next arrival to pre-free
+            // space, shrinking foreground pauses.
+            if self.config.idle_gc {
+                while device_free_at < arrival
+                    && self.manager.assemblable() < self.config.gc_high_watermark
+                {
+                    match self.gc_once()? {
+                        Some(t) => {
+                            device_free_at += t;
+                            self.stats.busy_us += t;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            let start = device_free_at.max(arrival);
+            let wait = start - arrival;
+            let service = match r.op {
+                IoOp::Write => self.write(r.lpn)?,
+                IoOp::Read => self.read(r.lpn)?.unwrap_or(0.0),
+                IoOp::Trim => {
+                    self.trim(r.lpn)?;
+                    0.0
+                }
+            };
+            // Replace the service-only sample with the queue-inclusive one.
+            match r.op {
+                IoOp::Write => self.stats.write_latency.replace_last(wait + service),
+                IoOp::Read if service > 0.0 => {
+                    self.stats.read_latency.replace_last(wait + service);
+                }
+                _ => {}
+            }
+            device_free_at = start + service;
+        }
+        Ok(())
+    }
+
+    /// Executes a request stream.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing request.
+    pub fn run(&mut self, requests: &[IoRequest]) -> Result<()> {
+        for r in requests {
+            match r.op {
+                IoOp::Write => {
+                    self.write(r.lpn)?;
+                }
+                IoOp::Read => {
+                    self.read(r.lpn)?;
+                }
+                IoOp::Trim => self.trim(r.lpn)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn check_lpn(&self, lpn: u64) -> Result<()> {
+        if lpn >= self.logical_pages {
+            return Err(FtlError::LpnOutOfRange { lpn, capacity: self.logical_pages });
+        }
+        Ok(())
+    }
+
+    /// Writes one logical page, returning the host-visible latency in µs
+    /// (transfer + any triggered program/erase/GC work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] or [`FtlError::OutOfSpace`].
+    pub fn write(&mut self, lpn: u64) -> Result<f64> {
+        self.check_lpn(lpn)?;
+        let mut latency = self.config.transfer_us;
+        latency += self.maybe_gc()?;
+        latency += self.stage_write(lpn, Purpose::Host)?;
+        self.stats.host_writes += 1;
+        self.stats.write_latency.record(latency);
+        self.stats.busy_us += latency;
+        Ok(latency)
+    }
+
+    /// Reads one logical page: `Ok(None)` if it was never written, else the
+    /// host-visible latency in µs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] for out-of-range pages.
+    pub fn read(&mut self, lpn: u64) -> Result<Option<f64>> {
+        self.check_lpn(lpn)?;
+        // Serve from the staging buffers first (write-back cache).
+        let staged = self.host_active.as_ref().is_some_and(|a| a.has_staged(lpn))
+            || self.gc_active.as_ref().is_some_and(|a| a.has_staged(lpn));
+        let latency = if staged {
+            self.config.transfer_us
+        } else {
+            match self.mapping.lookup(lpn) {
+                None => return Ok(None),
+                Some(ppa) => {
+                    let (tag, t) = self.array.read_page(ppa)?;
+                    debug_assert_eq!(tag, lpn, "mapping points at the right payload");
+                    t + self.config.transfer_us
+                }
+            }
+        };
+        self.stats.host_reads += 1;
+        self.stats.read_latency.record(latency);
+        self.stats.busy_us += latency;
+        Ok(Some(latency))
+    }
+
+    /// Reads a batch of logical pages exploiting chip parallelism: reads on
+    /// different chips proceed concurrently (the superpage read of Figure 2),
+    /// reads on the same chip serialize. Returns the batch completion
+    /// latency; unwritten pages are skipped.
+    ///
+    /// Sequentially written pages stripe page-major across the superblock
+    /// members, so reading `chips` consecutive LPNs costs roughly one page
+    /// read, not `chips` of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] if any page is out of range.
+    pub fn read_batch(&mut self, lpns: &[u64]) -> Result<f64> {
+        for &lpn in lpns {
+            self.check_lpn(lpn)?;
+        }
+        let mut per_chip: std::collections::HashMap<(u16, u16), f64> =
+            std::collections::HashMap::new();
+        let mut transfer = 0.0;
+        let mut served = 0u64;
+        for &lpn in lpns {
+            let staged = self.host_active.as_ref().is_some_and(|a| a.has_staged(lpn))
+                || self.gc_active.as_ref().is_some_and(|a| a.has_staged(lpn));
+            if staged {
+                transfer += self.config.transfer_us;
+                served += 1;
+                continue;
+            }
+            if let Some(ppa) = self.mapping.lookup(lpn) {
+                let (tag, t) = self.array.read_page(ppa)?;
+                debug_assert_eq!(tag, lpn);
+                let chip = (ppa.wl.block.chip.0, ppa.wl.block.plane.0);
+                *per_chip.entry(chip).or_insert(0.0) += t;
+                transfer += self.config.transfer_us;
+                served += 1;
+            }
+        }
+        let flash_us = per_chip.values().copied().fold(0.0, f64::max);
+        let latency = flash_us + transfer;
+        self.stats.host_reads += served;
+        if served > 0 {
+            self.stats.read_latency.record(latency);
+        }
+        self.stats.busy_us += latency;
+        Ok(latency)
+    }
+
+    /// Invalidates one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] for out-of-range pages.
+    pub fn trim(&mut self, lpn: u64) -> Result<()> {
+        self.check_lpn(lpn)?;
+        self.mapping.unmap(lpn);
+        if let Some(a) = self.host_active.as_mut() {
+            a.discard_staged(lpn);
+        }
+        if let Some(a) = self.gc_active.as_mut() {
+            a.discard_staged(lpn);
+        }
+        self.stats.host_trims += 1;
+        Ok(())
+    }
+
+    /// Valid data pages currently on flash (excludes staged pages).
+    #[must_use]
+    pub fn valid_pages(&self) -> usize {
+        self.mapping.valid_pages()
+    }
+
+    /// Wear statistics: `(min, max)` per-block erase counts so far.
+    #[must_use]
+    pub fn wear_spread(&self) -> (u32, u32) {
+        self.wear.spread()
+    }
+
+    /// Whether wear imbalance exceeds the configured threshold.
+    #[must_use]
+    pub fn needs_wear_leveling(&self) -> bool {
+        self.wear.needs_leveling()
+    }
+
+    fn class_for(&self, purpose: Purpose) -> SpeedClass {
+        match (self.config.placement, purpose) {
+            (PlacementPolicy::FunctionBased, Purpose::Gc) => SpeedClass::Slow,
+            _ => SpeedClass::Fast,
+        }
+    }
+
+    fn slot(&mut self, purpose: Purpose) -> &mut Option<ActiveSuperblock> {
+        match (self.config.placement, purpose) {
+            (PlacementPolicy::FunctionBased, Purpose::Gc) => &mut self.gc_active,
+            _ => &mut self.host_active,
+        }
+    }
+
+    /// Ensures an open superblock exists for `purpose`; returns time spent
+    /// (allocation erase).
+    fn ensure_active(&mut self, purpose: Purpose) -> Result<f64> {
+        if self.slot(purpose).is_some() {
+            return Ok(0.0);
+        }
+        let class = self.class_for(purpose);
+        let members = self.manager.allocate(class).ok_or(FtlError::OutOfSpace)?;
+        let outcome = self.array.mp_erase(&members)?;
+        for &m in &members {
+            self.wear.record_erase(m);
+        }
+        self.stats.superblock_erases += 1;
+        self.stats.extra_erase_us += outcome.extra_us;
+        match class {
+            SpeedClass::Fast => self.stats.superblocks_assembled.0 += 1,
+            SpeedClass::Slow => self.stats.superblocks_assembled.1 += 1,
+        }
+        let geo = self.array.geometry();
+        let active = ActiveSuperblock::new(
+            members,
+            geo.strings(),
+            geo.pwl_layers(),
+            geo.pages_per_lwl(),
+        );
+        *self.slot(purpose) = Some(active);
+        Ok(outcome.total_us)
+    }
+
+    /// Stages one page and programs/seals as needed; returns time spent.
+    fn stage_write(&mut self, lpn: u64, purpose: Purpose) -> Result<f64> {
+        let mut time = self.ensure_active(purpose)?;
+        let mut active = self.slot(purpose).take().expect("ensure_active filled the slot");
+        if active.stage(lpn) {
+            let (assignments, outcome) = active.program_superwl(&mut self.array)?;
+            self.apply_assignments(&assignments);
+            self.stats.superwl_programs += 1;
+            self.stats.extra_program_us += outcome.extra_us;
+            time += outcome.total_us;
+        }
+        self.retire_or_restore(active, purpose);
+        Ok(time)
+    }
+
+    /// Pads and programs any staged pages of `purpose`'s open superblock so
+    /// everything buffered becomes durable; returns time spent.
+    fn flush_purpose(&mut self, purpose: Purpose) -> Result<f64> {
+        let Some(mut active) = self.slot(purpose).take() else {
+            return Ok(0.0);
+        };
+        let mut time = 0.0;
+        if active.has_staged_pages() {
+            active.pad();
+            let (assignments, outcome) = active.program_superwl(&mut self.array)?;
+            self.apply_assignments(&assignments);
+            self.stats.superwl_programs += 1;
+            self.stats.extra_program_us += outcome.extra_us;
+            time += outcome.total_us;
+        }
+        self.retire_or_restore(active, purpose);
+        Ok(time)
+    }
+
+    /// Makes every buffered host/GC page durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors (internal invariant bugs).
+    pub fn flush(&mut self) -> Result<f64> {
+        Ok(self.flush_purpose(Purpose::Host)? + self.flush_purpose(Purpose::Gc)?)
+    }
+
+    fn apply_assignments(&mut self, assignments: &[(u64, flash_model::PageAddr)]) {
+        for &(lpn, ppa) in assignments {
+            debug_assert_ne!(lpn, FILLER);
+            self.mapping.map(lpn, ppa);
+        }
+    }
+
+    fn retire_or_restore(&mut self, active: ActiveSuperblock, purpose: Purpose) {
+        if active.is_full() {
+            let members = active.members.clone();
+            for summary in active.finish() {
+                self.manager.learn(summary);
+            }
+            self.sealed.push(SealedSuperblock { members, sealed_at: self.seal_seq });
+            self.seal_seq += 1;
+        } else {
+            *self.slot(purpose) = Some(active);
+        }
+    }
+
+    /// Runs garbage collection if free space is low; returns time spent.
+    fn maybe_gc(&mut self) -> Result<f64> {
+        if self.manager.assemblable() >= self.config.gc_low_watermark {
+            return Ok(0.0);
+        }
+        let mut time = 0.0;
+        while self.manager.assemblable() < self.config.gc_high_watermark {
+            match self.gc_once()? {
+                Some(t) => time += t,
+                None => break,
+            }
+        }
+        // The caller (the triggering write) folds this time into its own
+        // latency, which is what updates busy_us — no double counting here.
+        Ok(time)
+    }
+
+    /// Collects one victim superblock; `None` when no sealed victim exists.
+    fn gc_once(&mut self) -> Result<Option<f64>> {
+        let pages_per_sb = self.geometry_info().pages_per_superblock as usize;
+        let Some(victim_idx) = select_victim(
+            self.config.gc_policy,
+            &self.sealed,
+            &self.mapping,
+            pages_per_sb,
+            self.seal_seq,
+        ) else {
+            return Ok(None);
+        };
+        let victim = self.sealed.swap_remove(victim_idx);
+        let mut time = 0.0;
+        for &member in &victim.members {
+            for (lpn, ppa) in self.mapping.valid_in_block(member) {
+                let (tag, t_read) = self.array.read_page(ppa)?;
+                debug_assert_eq!(tag, lpn);
+                time += t_read;
+                time += self.stage_write(lpn, Purpose::Gc)?;
+                self.stats.gc_relocations += 1;
+            }
+        }
+        // Everything staged must be durable before the old copies vanish.
+        time += self.flush_purpose(Purpose::Gc)?;
+        for &member in &victim.members {
+            self.mapping.invalidate_block(member);
+            self.manager.free(member, None);
+        }
+        self.stats.gc_runs += 1;
+        Ok(Some(time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OrganizationScheme;
+    use crate::workload::Workload;
+
+    fn ssd(scheme: OrganizationScheme) -> Ssd {
+        let mut config = FtlConfig::small_test();
+        config.scheme = scheme;
+        Ssd::new(config, 11).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        let w = dev.write(5).unwrap();
+        assert!(w > 0.0);
+        let r = dev.read(5).unwrap().unwrap();
+        assert!(r > 0.0);
+        assert_eq!(dev.read(6).unwrap(), None, "unwritten page");
+    }
+
+    #[test]
+    fn read_after_flush_hits_flash() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        dev.write(5).unwrap();
+        dev.flush().unwrap();
+        let r = dev.read(5).unwrap().unwrap();
+        // Flash read latency is much larger than the transfer time.
+        assert!(r > dev.config.transfer_us, "latency {r}");
+        assert_eq!(dev.valid_pages(), 1);
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        let cap = dev.geometry_info().logical_pages;
+        assert!(matches!(dev.write(cap), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(dev.read(cap), Err(FtlError::LpnOutOfRange { .. })));
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        dev.write(5).unwrap();
+        dev.flush().unwrap();
+        dev.trim(5).unwrap();
+        assert_eq!(dev.read(5).unwrap(), None);
+        assert_eq!(dev.valid_pages(), 0);
+    }
+
+    #[test]
+    fn overwrite_keeps_one_valid_copy() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        for _ in 0..5 {
+            dev.write(9).unwrap();
+        }
+        dev.flush().unwrap();
+        assert_eq!(dev.valid_pages(), 1);
+        assert!(dev.read(9).unwrap().is_some());
+    }
+
+    #[test]
+    fn sustained_writes_trigger_gc_and_survive() {
+        for scheme in [
+            OrganizationScheme::Random,
+            OrganizationScheme::Sequential,
+            OrganizationScheme::QstrMed { candidates: 4 },
+        ] {
+            let mut dev = ssd(scheme);
+            let info = dev.geometry_info();
+            // Write 3x the logical space over half the LPNs.
+            let reqs = Workload::random_write(0.5).generate(
+                &info,
+                (info.logical_pages * 3) as usize,
+                7,
+            );
+            dev.run(&reqs).unwrap();
+            assert!(dev.stats().gc_runs > 0, "{scheme:?} should have collected garbage");
+            assert!(dev.stats().waf() > 1.0);
+            // All recently written pages still readable.
+            for lpn in 0..(info.logical_pages / 2).min(50) {
+                let _ = dev.read(lpn).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn qstr_scheme_performs_distance_checks() {
+        let mut dev = ssd(OrganizationScheme::QstrMed { candidates: 4 });
+        let info = dev.geometry_info();
+        let reqs =
+            Workload::random_write(0.5).generate(&info, (info.logical_pages * 2) as usize, 3);
+        dev.run(&reqs).unwrap();
+        assert!(dev.distance_checks() > 0);
+    }
+
+    #[test]
+    fn qstr_reduces_extra_program_latency_vs_random() {
+        let run = |scheme| {
+            let mut dev = ssd(scheme);
+            let info = dev.geometry_info();
+            let reqs = Workload::random_write(0.5).generate(
+                &info,
+                (info.logical_pages * 3) as usize,
+                7,
+            );
+            dev.run(&reqs).unwrap();
+            dev.stats().extra_program_per_op_us()
+        };
+        let random = run(OrganizationScheme::Random);
+        let qstr = run(OrganizationScheme::QstrMed { candidates: 4 });
+        assert!(qstr < random, "QSTR-MED {qstr} vs random {random}");
+    }
+
+    #[test]
+    fn sequential_pages_stripe_across_chips() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        for lpn in 0..12 {
+            dev.write(lpn).unwrap();
+        }
+        dev.flush().unwrap();
+        // The first four consecutive pages must sit on four distinct chips.
+        let chips: std::collections::HashSet<u16> = (0..4)
+            .map(|lpn| dev.mapping.lookup(lpn).unwrap().wl.block.chip.0)
+            .collect();
+        assert_eq!(chips.len(), 4, "page-major striping spreads chips");
+    }
+
+    #[test]
+    fn batch_read_is_cheaper_than_serial_reads() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        for lpn in 0..4 {
+            dev.write(lpn).unwrap();
+        }
+        dev.flush().unwrap();
+        let batch = dev.read_batch(&[0, 1, 2, 3]).unwrap();
+        let serial: f64 = (0..4).map(|l| dev.read(l).unwrap().unwrap()).sum();
+        assert!(batch < serial, "batch {batch} vs serial {serial}");
+    }
+
+    #[test]
+    fn batch_read_skips_unwritten_pages() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        dev.write(0).unwrap();
+        let before = dev.stats().host_reads;
+        dev.read_batch(&[0, 1, 2]).unwrap();
+        assert_eq!(dev.stats().host_reads, before + 1);
+    }
+
+    #[test]
+    fn wear_spread_is_tracked() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        let info = dev.geometry_info();
+        let reqs = Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 7);
+        dev.run(&reqs).unwrap();
+        let (min, max) = dev.wear_spread();
+        assert!(max >= 1, "some block must have been erased");
+        assert!(max >= min);
+    }
+
+    #[test]
+    fn cost_benefit_gc_also_survives_sustained_writes() {
+        let mut config = FtlConfig::small_test();
+        config.gc_policy = crate::gc::GcPolicy::CostBenefit;
+        let mut dev = Ssd::new(config, 3).unwrap();
+        let info = dev.geometry_info();
+        let reqs = Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 9);
+        dev.run(&reqs).unwrap();
+        assert!(dev.stats().gc_runs > 0);
+    }
+
+    #[test]
+    fn timed_run_adds_queueing_delay_under_load() {
+        use crate::workload::poisson_arrivals;
+        let reqs: Vec<crate::IoRequest> = Workload::random_write(0.5)
+            .generate(&ssd(OrganizationScheme::Random).geometry_info(), 3000, 5);
+        // Saturating load: arrivals far faster than service.
+        let mut busy_dev = ssd(OrganizationScheme::Random);
+        busy_dev.run_timed(&poisson_arrivals(&reqs, 1.0, 1)).unwrap();
+        // Relaxed load: arrivals far slower than service.
+        let mut idle_dev = ssd(OrganizationScheme::Random);
+        idle_dev.run_timed(&poisson_arrivals(&reqs, 100_000.0, 1)).unwrap();
+        let busy_p99 = busy_dev.stats().write_latency.quantile_us(0.99);
+        let idle_p99 = idle_dev.stats().write_latency.quantile_us(0.99);
+        assert!(busy_p99 > idle_p99 * 2.0, "busy {busy_p99} vs idle {idle_p99}");
+    }
+
+    #[test]
+    fn idle_gc_reduces_foreground_pauses() {
+        use crate::workload::poisson_arrivals;
+        let make = |idle_gc: bool| {
+            let mut config = FtlConfig::small_test();
+            config.idle_gc = idle_gc;
+            Ssd::new(config, 3).unwrap()
+        };
+        let n = (make(false).geometry_info().logical_pages * 3) as usize;
+        let reqs = Workload::random_write(0.5).generate(&make(false).geometry_info(), n, 5);
+        // Arrivals slow enough to leave idle gaps.
+        let timed = poisson_arrivals(&reqs, 6000.0, 1);
+        let mut fg = make(false);
+        fg.run_timed(&timed).unwrap();
+        let mut bg = make(true);
+        bg.run_timed(&timed).unwrap();
+        assert!(bg.stats().gc_runs > 0);
+        let fg_p99 = fg.stats().write_latency.quantile_us(0.999);
+        let bg_p99 = bg.stats().write_latency.quantile_us(0.999);
+        assert!(bg_p99 <= fg_p99, "idle GC p99.9 {bg_p99} vs foreground {fg_p99}");
+    }
+
+    #[test]
+    fn stats_track_host_operations() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        dev.write(1).unwrap();
+        dev.write(2).unwrap();
+        dev.read(1).unwrap();
+        dev.trim(2).unwrap();
+        let s = dev.stats();
+        assert_eq!(s.host_writes, 2);
+        assert_eq!(s.host_reads, 1);
+        assert_eq!(s.host_trims, 1);
+        assert!(s.busy_us > 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the FTL simulator.
+
+use std::fmt;
+
+/// Errors from configuring or driving the simulated SSD.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FtlError {
+    /// The configuration is inconsistent.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A request addressed a logical page beyond the exported capacity.
+    LpnOutOfRange {
+        /// Offending logical page number.
+        lpn: u64,
+        /// Exported logical pages.
+        capacity: u64,
+    },
+    /// The device ran out of free blocks even after garbage collection —
+    /// the workload overcommitted the physical capacity.
+    OutOfSpace,
+    /// An underlying flash operation failed (an internal invariant bug).
+    Flash(flash_model::FlashError),
+    /// A pvcheck operation failed (an internal invariant bug).
+    Pv(pvcheck::PvError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            FtlError::LpnOutOfRange { lpn, capacity } => {
+                write!(f, "logical page {lpn} beyond capacity {capacity}")
+            }
+            FtlError::OutOfSpace => write!(f, "no free blocks left after garbage collection"),
+            FtlError::Flash(e) => write!(f, "flash operation failed: {e}"),
+            FtlError::Pv(e) => write!(f, "gather/assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtlError::Flash(e) => Some(e),
+            FtlError::Pv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flash_model::FlashError> for FtlError {
+    fn from(e: flash_model::FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+impl From<pvcheck::PvError> for FtlError {
+    fn from(e: pvcheck::PvError) -> Self {
+        FtlError::Pv(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FtlError::LpnOutOfRange { lpn: 100, capacity: 50 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FtlError>();
+    }
+}

@@ -1,0 +1,115 @@
+//! Garbage-collection victim selection policies.
+
+use crate::mapping::Mapping;
+use flash_model::BlockAddr;
+
+/// How GC picks its victim superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GcPolicy {
+    /// Fewest valid pages (cheapest relocation, most space reclaimed now).
+    #[default]
+    Greedy,
+    /// Cost-benefit: weigh reclaimed space against relocation cost and age,
+    /// preferring older superblocks whose data has had time to go cold —
+    /// `(1 - u) * age / (1 + u)` with `u` the valid-page ratio.
+    CostBenefit,
+}
+
+/// A fully written superblock awaiting garbage collection.
+#[derive(Debug, Clone)]
+pub(crate) struct SealedSuperblock {
+    pub members: Vec<BlockAddr>,
+    /// Monotone sequence number at sealing time (a proxy for age).
+    pub sealed_at: u64,
+}
+
+impl SealedSuperblock {
+    /// Valid pages currently stored across the members.
+    pub(crate) fn valid_pages(&self, mapping: &Mapping) -> usize {
+        self.members.iter().map(|&m| mapping.valid_in_block(m).len()).sum()
+    }
+}
+
+/// Picks a victim index under the policy; `None` when nothing is sealed.
+pub(crate) fn select_victim(
+    policy: GcPolicy,
+    sealed: &[SealedSuperblock],
+    mapping: &Mapping,
+    pages_per_superblock: usize,
+    now: u64,
+) -> Option<usize> {
+    match policy {
+        GcPolicy::Greedy => sealed
+            .iter()
+            .enumerate()
+            .map(|(i, sb)| (sb.valid_pages(mapping), i))
+            .min()
+            .map(|(_, i)| i),
+        GcPolicy::CostBenefit => sealed
+            .iter()
+            .enumerate()
+            .map(|(i, sb)| {
+                let u = sb.valid_pages(mapping) as f64 / pages_per_superblock.max(1) as f64;
+                let age = (now.saturating_sub(sb.sealed_at)) as f64 + 1.0;
+                let score = (1.0 - u) * age / (1.0 + u);
+                (score, i)
+            })
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(_, i)| i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_model::{BlockId, ChipId, LwlId, PageType, PlaneId};
+
+    fn blk(c: u16, b: u32) -> BlockAddr {
+        BlockAddr::new(ChipId(c), PlaneId(0), BlockId(b))
+    }
+
+    fn sealed(b: u32, sealed_at: u64) -> SealedSuperblock {
+        SealedSuperblock { members: vec![blk(0, b), blk(1, b)], sealed_at }
+    }
+
+    #[test]
+    fn greedy_picks_the_emptiest_superblock() {
+        let mut mapping = Mapping::new(100);
+        mapping.map(1, blk(0, 0).wl(LwlId(0)).page(PageType::Lsb));
+        mapping.map(2, blk(1, 0).wl(LwlId(0)).page(PageType::Lsb));
+        mapping.map(3, blk(0, 1).wl(LwlId(0)).page(PageType::Lsb));
+        let sbs = vec![sealed(0, 0), sealed(1, 1)];
+        assert_eq!(select_victim(GcPolicy::Greedy, &sbs, &mapping, 48, 2), Some(1));
+        assert_eq!(sbs[0].valid_pages(&mapping), 2);
+    }
+
+    #[test]
+    fn cost_benefit_prefers_old_empty_superblocks() {
+        let mut mapping = Mapping::new(100);
+        // Both equally empty; the older one must win.
+        mapping.map(1, blk(0, 0).wl(LwlId(0)).page(PageType::Lsb));
+        mapping.map(2, blk(0, 1).wl(LwlId(0)).page(PageType::Lsb));
+        let sbs = vec![sealed(0, 5), sealed(1, 1)];
+        assert_eq!(select_victim(GcPolicy::CostBenefit, &sbs, &mapping, 48, 10), Some(1));
+    }
+
+    #[test]
+    fn cost_benefit_avoids_full_superblocks() {
+        let mut mapping = Mapping::new(1000);
+        // Superblock 0: old but completely full. Superblock 1: young, empty.
+        for lwl in 0..24 {
+            mapping.map(u64::from(lwl) * 2, blk(0, 0).wl(LwlId(lwl)).page(PageType::Lsb));
+            mapping.map(u64::from(lwl) * 2 + 1, blk(1, 0).wl(LwlId(lwl)).page(PageType::Lsb));
+        }
+        let sbs = vec![sealed(0, 0), sealed(1, 99)];
+        assert_eq!(select_victim(GcPolicy::CostBenefit, &sbs, &mapping, 48, 100), Some(1));
+    }
+
+    #[test]
+    fn no_sealed_superblocks_means_no_victim() {
+        let mapping = Mapping::new(10);
+        for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit] {
+            assert_eq!(select_victim(policy, &[], &mapping, 48, 0), None);
+        }
+    }
+}

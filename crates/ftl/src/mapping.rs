@@ -1,0 +1,196 @@
+//! Logical-to-physical page mapping with validity tracking.
+
+use flash_model::{BlockAddr, PageAddr};
+use std::collections::HashMap;
+
+/// Page-level L2P/P2L mapping.
+///
+/// Invariant: `l2p[lpn] == Some(ppa)` iff `p2l[ppa] == lpn`; a physical page
+/// not in `p2l` is invalid (stale or never written).
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    l2p: Vec<Option<PageAddr>>,
+    p2l: HashMap<PageAddr, u64>,
+}
+
+impl Mapping {
+    /// A mapping exporting `capacity` logical pages, all unmapped.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        Mapping { l2p: vec![None; capacity as usize], p2l: HashMap::new() }
+    }
+
+    /// Exported logical capacity in pages.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Physical location of a logical page.
+    #[must_use]
+    pub fn lookup(&self, lpn: u64) -> Option<PageAddr> {
+        self.l2p.get(lpn as usize).copied().flatten()
+    }
+
+    /// Logical page stored at a physical page, if it is valid.
+    #[must_use]
+    pub fn reverse(&self, ppa: PageAddr) -> Option<u64> {
+        self.p2l.get(&ppa).copied()
+    }
+
+    /// Whether a physical page holds valid data.
+    #[must_use]
+    pub fn is_valid(&self, ppa: PageAddr) -> bool {
+        self.p2l.contains_key(&ppa)
+    }
+
+    /// Number of valid physical pages.
+    #[must_use]
+    pub fn valid_pages(&self) -> usize {
+        self.p2l.len()
+    }
+
+    /// Maps `lpn` to `ppa`, invalidating any previous location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range or `ppa` already holds another
+    /// logical page (a physical page is written once per erase cycle).
+    pub fn map(&mut self, lpn: u64, ppa: PageAddr) {
+        assert!((lpn as usize) < self.l2p.len(), "lpn {lpn} out of range");
+        if let Some(old) = self.l2p[lpn as usize].take() {
+            self.p2l.remove(&old);
+        }
+        let prev = self.p2l.insert(ppa, lpn);
+        assert!(prev.is_none(), "physical page written twice without erase");
+        self.l2p[lpn as usize] = Some(ppa);
+    }
+
+    /// Unmaps a logical page (trim); returns its old location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range.
+    pub fn unmap(&mut self, lpn: u64) -> Option<PageAddr> {
+        assert!((lpn as usize) < self.l2p.len(), "lpn {lpn} out of range");
+        let old = self.l2p[lpn as usize].take();
+        if let Some(ppa) = old {
+            self.p2l.remove(&ppa);
+        }
+        old
+    }
+
+    /// Drops validity records for every page of a block (after erase).
+    pub fn invalidate_block(&mut self, block: BlockAddr) {
+        // Erase only happens after relocation, so every page of the block
+        // must already be invalid; this is a defensive sweep.
+        let stale: Vec<PageAddr> =
+            self.p2l.keys().filter(|p| p.wl.block == block).copied().collect();
+        for ppa in stale {
+            if let Some(lpn) = self.p2l.remove(&ppa) {
+                self.l2p[lpn as usize] = None;
+            }
+        }
+    }
+
+    /// Valid logical pages currently stored in a block, with locations.
+    #[must_use]
+    pub fn valid_in_block(&self, block: BlockAddr) -> Vec<(u64, PageAddr)> {
+        let mut v: Vec<(u64, PageAddr)> = self
+            .p2l
+            .iter()
+            .filter(|(p, _)| p.wl.block == block)
+            .map(|(p, &l)| (l, *p))
+            .collect();
+        v.sort_by_key(|&(_, p)| (p.wl.lwl, p.page.index()));
+        v
+    }
+
+    /// Checks the L2P/P2L bijection invariant (for tests).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        let forward_ok = self
+            .l2p
+            .iter()
+            .enumerate()
+            .filter_map(|(l, p)| p.map(|p| (l as u64, p)))
+            .all(|(l, p)| self.p2l.get(&p) == Some(&l));
+        forward_ok && self.p2l.iter().all(|(p, &l)| self.l2p[l as usize] == Some(*p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_model::{BlockId, ChipId, LwlId, PageType, PlaneId};
+
+    fn ppa(b: u32, lwl: u32, pt: PageType) -> PageAddr {
+        BlockAddr::new(ChipId(0), PlaneId(0), BlockId(b)).wl(LwlId(lwl)).page(pt)
+    }
+
+    #[test]
+    fn map_and_lookup_roundtrip() {
+        let mut m = Mapping::new(10);
+        m.map(3, ppa(0, 0, PageType::Lsb));
+        assert_eq!(m.lookup(3), Some(ppa(0, 0, PageType::Lsb)));
+        assert_eq!(m.reverse(ppa(0, 0, PageType::Lsb)), Some(3));
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn remap_invalidates_old_location() {
+        let mut m = Mapping::new(10);
+        m.map(3, ppa(0, 0, PageType::Lsb));
+        m.map(3, ppa(1, 0, PageType::Lsb));
+        assert!(!m.is_valid(ppa(0, 0, PageType::Lsb)));
+        assert_eq!(m.lookup(3), Some(ppa(1, 0, PageType::Lsb)));
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "written twice")]
+    fn double_write_to_same_ppa_panics() {
+        let mut m = Mapping::new(10);
+        m.map(1, ppa(0, 0, PageType::Lsb));
+        m.map(2, ppa(0, 0, PageType::Lsb));
+    }
+
+    #[test]
+    fn unmap_clears_both_directions() {
+        let mut m = Mapping::new(10);
+        m.map(3, ppa(0, 0, PageType::Lsb));
+        assert_eq!(m.unmap(3), Some(ppa(0, 0, PageType::Lsb)));
+        assert_eq!(m.lookup(3), None);
+        assert_eq!(m.valid_pages(), 0);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn valid_in_block_filters_and_sorts() {
+        let mut m = Mapping::new(10);
+        m.map(1, ppa(0, 1, PageType::Lsb));
+        m.map(2, ppa(0, 0, PageType::Msb));
+        m.map(3, ppa(1, 0, PageType::Lsb));
+        let blk0 = BlockAddr::new(ChipId(0), PlaneId(0), BlockId(0));
+        let v = m.valid_in_block(blk0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].0, 2, "WL0 before WL1");
+    }
+
+    #[test]
+    fn invalidate_block_sweeps_everything() {
+        let mut m = Mapping::new(10);
+        m.map(1, ppa(0, 0, PageType::Lsb));
+        m.map(2, ppa(0, 1, PageType::Csb));
+        m.invalidate_block(BlockAddr::new(ChipId(0), PlaneId(0), BlockId(0)));
+        assert_eq!(m.valid_pages(), 0);
+        assert_eq!(m.lookup(1), None);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn lookup_out_of_range_is_none() {
+        let m = Mapping::new(4);
+        assert_eq!(m.lookup(99), None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Host I/O requests.
+
+use std::fmt;
+
+/// Operation type of a host request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Read one logical page.
+    Read,
+    /// Write one logical page.
+    Write,
+    /// Invalidate one logical page.
+    Trim,
+}
+
+/// One page-granular host request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IoRequest {
+    /// Operation type.
+    pub op: IoOp,
+    /// Logical page number.
+    pub lpn: u64,
+}
+
+impl IoRequest {
+    /// A write request.
+    #[must_use]
+    pub fn write(lpn: u64) -> Self {
+        IoRequest { op: IoOp::Write, lpn }
+    }
+
+    /// A read request.
+    #[must_use]
+    pub fn read(lpn: u64) -> Self {
+        IoRequest { op: IoOp::Read, lpn }
+    }
+
+    /// A trim request.
+    #[must_use]
+    pub fn trim(lpn: u64) -> Self {
+        IoRequest { op: IoOp::Trim, lpn }
+    }
+}
+
+impl fmt::Display for IoRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            IoOp::Read => "R",
+            IoOp::Write => "W",
+            IoOp::Trim => "T",
+        };
+        write!(f, "{op}:{}", self.lpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_op() {
+        assert_eq!(IoRequest::write(3).op, IoOp::Write);
+        assert_eq!(IoRequest::read(3).op, IoOp::Read);
+        assert_eq!(IoRequest::trim(3).op, IoOp::Trim);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(IoRequest::write(42).to_string(), "W:42");
+    }
+}

@@ -1,0 +1,189 @@
+//! Device statistics: latencies, write amplification, extra-latency
+//! accounting.
+
+/// A simple latency sample collector with percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, us: f64) {
+        self.samples_us.push(us);
+    }
+
+    /// Replaces the most recent sample (used to upgrade a service-time
+    /// sample to a queue-inclusive one); no-op when empty.
+    pub fn replace_last(&mut self, us: f64) {
+        if let Some(last) = self.samples_us.last_mut() {
+            *last = us;
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean latency, or 0 when empty.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0 when empty.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Maximum sample, or 0 when empty.
+    #[must_use]
+    pub fn max_us(&self) -> f64 {
+        self.samples_us.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Counters and histograms of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SsdStats {
+    /// Host pages written.
+    pub host_writes: u64,
+    /// Host pages read.
+    pub host_reads: u64,
+    /// Host trims.
+    pub host_trims: u64,
+    /// Pages relocated by garbage collection.
+    pub gc_relocations: u64,
+    /// Garbage-collection passes.
+    pub gc_runs: u64,
+    /// Super word-line programs issued.
+    pub superwl_programs: u64,
+    /// Superblock erases issued.
+    pub superblock_erases: u64,
+    /// Superblocks assembled, by class: (fast, slow).
+    pub superblocks_assembled: (u64, u64),
+    /// Total extra program latency across super word-line programs, µs.
+    pub extra_program_us: f64,
+    /// Total extra erase latency across superblock erases, µs.
+    pub extra_erase_us: f64,
+    /// Total busy time of the device, µs.
+    pub busy_us: f64,
+    /// Host write latency distribution.
+    pub write_latency: LatencyHistogram,
+    /// Host read latency distribution.
+    pub read_latency: LatencyHistogram,
+}
+
+impl SsdStats {
+    /// Write amplification factor: total pages programmed per host page.
+    #[must_use]
+    pub fn waf(&self) -> f64 {
+        if self.host_writes == 0 {
+            return 0.0;
+        }
+        (self.host_writes + self.gc_relocations) as f64 / self.host_writes as f64
+    }
+
+    /// Mean extra program latency per super word-line program, µs.
+    #[must_use]
+    pub fn extra_program_per_op_us(&self) -> f64 {
+        if self.superwl_programs == 0 {
+            return 0.0;
+        }
+        self.extra_program_us / self.superwl_programs as f64
+    }
+
+    /// Mean extra erase latency per superblock erase, µs.
+    #[must_use]
+    pub fn extra_erase_per_op_us(&self) -> f64 {
+        if self.superblock_erases == 0 {
+            return 0.0;
+        }
+        self.extra_erase_us / self.superblock_erases as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let mut h = LatencyHistogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_us(0.0), 1.0);
+        assert_eq!(h.quantile_us(0.5), 3.0);
+        assert_eq!(h.quantile_us(1.0), 5.0);
+        assert_eq!(h.max_us(), 5.0);
+        assert!((h.mean_us() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_us(0.99), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn replace_last_swaps_newest_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(5.0);
+        h.replace_last(9.0);
+        assert_eq!(h.max_us(), 9.0);
+        let mut empty = LatencyHistogram::new();
+        empty.replace_last(1.0); // must not panic
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn waf_counts_gc_traffic() {
+        let stats = SsdStats { host_writes: 100, gc_relocations: 50, ..SsdStats::default() };
+        assert!((stats.waf() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waf_of_idle_device_is_zero() {
+        assert_eq!(SsdStats::default().waf(), 0.0);
+    }
+
+    #[test]
+    fn per_op_extras() {
+        let stats = SsdStats {
+            superwl_programs: 4,
+            extra_program_us: 100.0,
+            superblock_erases: 2,
+            extra_erase_us: 30.0,
+            ..SsdStats::default()
+        };
+        assert!((stats.extra_program_per_op_us() - 25.0).abs() < 1e-12);
+        assert!((stats.extra_erase_per_op_us() - 15.0).abs() < 1e-12);
+    }
+}

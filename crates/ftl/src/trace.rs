@@ -1,0 +1,180 @@
+//! Block-trace parsing and replay.
+//!
+//! The format is a minimal CSV any real trace (MSR Cambridge, FIU, …) can
+//! be converted to:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! W,128          # write LPN 128
+//! R,128          # read LPN 128
+//! T,128          # trim LPN 128
+//! W,4096,8       # optional third column: run length in pages
+//! ```
+
+use crate::request::{IoOp, IoRequest};
+use std::fmt;
+use std::io::BufRead;
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        reason: String,
+    },
+    /// The underlying reader failed.
+    Io(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Malformed { line, reason } => {
+                write!(f, "trace line {line}: {reason}")
+            }
+            TraceError::Io(e) => write!(f, "trace read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a trace from any reader (a `&[u8]` literal works for tests; pass
+/// a `BufReader<File>` for real traces).
+///
+/// ```
+/// use ftl::trace::parse_trace;
+///
+/// let requests = parse_trace(b"W,10\nR,10\nW,20,2\n" as &[u8])?;
+/// assert_eq!(requests.len(), 4);
+/// # Ok::<(), ftl::trace::TraceError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on the first malformed line or I/O failure.
+pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<IoRequest>, TraceError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| TraceError::Io(e.to_string()))?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',').map(str::trim);
+        let op = match parts.next() {
+            Some("W") | Some("w") => IoOp::Write,
+            Some("R") | Some("r") => IoOp::Read,
+            Some("T") | Some("t") => IoOp::Trim,
+            Some(other) => {
+                return Err(TraceError::Malformed {
+                    line: line_no,
+                    reason: format!("unknown op {other:?} (expected W/R/T)"),
+                })
+            }
+            None => unreachable!("split always yields one item"),
+        };
+        let lpn: u64 = parts
+            .next()
+            .ok_or_else(|| TraceError::Malformed {
+                line: line_no,
+                reason: "missing LPN column".to_string(),
+            })?
+            .parse()
+            .map_err(|e| TraceError::Malformed { line: line_no, reason: format!("bad LPN: {e}") })?;
+        let len: u64 = match parts.next() {
+            None | Some("") => 1,
+            Some(n) => n.parse().map_err(|e| TraceError::Malformed {
+                line: line_no,
+                reason: format!("bad length: {e}"),
+            })?,
+        };
+        if len == 0 {
+            return Err(TraceError::Malformed {
+                line: line_no,
+                reason: "length must be at least 1".to_string(),
+            });
+        }
+        for i in 0..len {
+            out.push(IoRequest { op, lpn: lpn + i });
+        }
+    }
+    Ok(out)
+}
+
+/// Folds trace LPNs into a device's logical capacity (`lpn % capacity`),
+/// preserving access structure while guaranteeing replayability.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+#[must_use]
+pub fn fold_to_capacity(requests: &[IoRequest], capacity: u64) -> Vec<IoRequest> {
+    assert!(capacity > 0, "capacity must be positive");
+    requests.iter().map(|r| IoRequest { op: r.op, lpn: r.lpn % capacity }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ops_comments_and_runs() {
+        let trace = b"# header\nW,10\nR,10\n\nT,10\nW,20,3\n" as &[u8];
+        let reqs = parse_trace(trace).unwrap();
+        assert_eq!(reqs.len(), 6);
+        assert_eq!(reqs[0], IoRequest::write(10));
+        assert_eq!(reqs[1], IoRequest::read(10));
+        assert_eq!(reqs[2], IoRequest::trim(10));
+        assert_eq!(reqs[3], IoRequest::write(20));
+        assert_eq!(reqs[5], IoRequest::write(22));
+    }
+
+    #[test]
+    fn rejects_unknown_op() {
+        let err = parse_trace(b"X,1\n" as &[u8]).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_lpn() {
+        let err = parse_trace(b"W\n" as &[u8]).unwrap_err();
+        assert!(err.to_string().contains("missing LPN"));
+    }
+
+    #[test]
+    fn rejects_zero_length() {
+        let err = parse_trace(b"W,5,0\n" as &[u8]).unwrap_err();
+        assert!(err.to_string().contains("length"));
+    }
+
+    #[test]
+    fn reports_correct_line_numbers() {
+        let err = parse_trace(b"W,1\n# ok\nbogus,2\n" as &[u8]).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn fold_wraps_lpns() {
+        let reqs = vec![IoRequest::write(105), IoRequest::read(7)];
+        let folded = fold_to_capacity(&reqs, 100);
+        assert_eq!(folded[0].lpn, 5);
+        assert_eq!(folded[1].lpn, 7);
+    }
+
+    #[test]
+    fn replay_on_device_works() {
+        use crate::{FtlConfig, Ssd};
+        let mut dev = Ssd::new(FtlConfig::small_test(), 1).unwrap();
+        let trace = b"W,3\nW,4\nR,3\nT,4\n" as &[u8];
+        let reqs = fold_to_capacity(&parse_trace(trace).unwrap(), dev.geometry_info().logical_pages);
+        dev.run(&reqs).unwrap();
+        assert_eq!(dev.stats().host_writes, 2);
+        assert_eq!(dev.stats().host_reads, 1);
+        assert_eq!(dev.stats().host_trims, 1);
+    }
+}

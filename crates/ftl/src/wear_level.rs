@@ -1,0 +1,136 @@
+//! Wear tracking and static wear-leveling policy.
+//!
+//! Superblock organization interacts with wear: QSTR-MED's fast superblocks
+//! attract hot host data, so without leveling the fastest blocks also wear
+//! fastest. This module tracks per-block erase counts and implements the
+//! classic threshold rule: when `max(PE) - min(PE)` exceeds a threshold,
+//! the FTL should steer cold (GC) data onto the least-worn free blocks.
+
+use flash_model::BlockAddr;
+use std::collections::HashMap;
+
+/// Per-block erase counters plus the wear-leveling decision rule.
+#[derive(Debug, Clone, Default)]
+pub struct WearTracker {
+    erases: HashMap<BlockAddr, u32>,
+    threshold: u32,
+}
+
+impl WearTracker {
+    /// A tracker that flags imbalance beyond `threshold` erase cycles.
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        WearTracker { erases: HashMap::new(), threshold }
+    }
+
+    /// The configured imbalance threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Records one erase of `addr`.
+    pub fn record_erase(&mut self, addr: BlockAddr) {
+        *self.erases.entry(addr).or_insert(0) += 1;
+    }
+
+    /// Erase count of one block (0 if never erased).
+    #[must_use]
+    pub fn erases(&self, addr: BlockAddr) -> u32 {
+        self.erases.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// `(min, max)` erase counts over blocks seen so far.
+    #[must_use]
+    pub fn spread(&self) -> (u32, u32) {
+        let min = self.erases.values().copied().min().unwrap_or(0);
+        let max = self.erases.values().copied().max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Mean erase count.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.erases.is_empty() {
+            return 0.0;
+        }
+        self.erases.values().map(|&v| f64::from(v)).sum::<f64>() / self.erases.len() as f64
+    }
+
+    /// Whether the wear imbalance exceeds the threshold — time to level.
+    #[must_use]
+    pub fn needs_leveling(&self) -> bool {
+        let (min, max) = self.spread();
+        max - min > self.threshold
+    }
+
+    /// Among `candidates`, the least-worn block (ties by address) — where
+    /// cold data should go when leveling.
+    #[must_use]
+    pub fn coldest_candidate(&self, candidates: &[BlockAddr]) -> Option<BlockAddr> {
+        candidates.iter().copied().min_by_key(|&a| (self.erases(a), a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_model::{BlockId, ChipId, PlaneId};
+
+    fn blk(b: u32) -> BlockAddr {
+        BlockAddr::new(ChipId(0), PlaneId(0), BlockId(b))
+    }
+
+    #[test]
+    fn records_and_reports_erases() {
+        let mut w = WearTracker::new(10);
+        w.record_erase(blk(0));
+        w.record_erase(blk(0));
+        w.record_erase(blk(1));
+        assert_eq!(w.erases(blk(0)), 2);
+        assert_eq!(w.erases(blk(1)), 1);
+        assert_eq!(w.erases(blk(9)), 0);
+    }
+
+    #[test]
+    fn spread_and_mean() {
+        let mut w = WearTracker::new(10);
+        for _ in 0..4 {
+            w.record_erase(blk(0));
+        }
+        w.record_erase(blk(1));
+        assert_eq!(w.spread(), (1, 4));
+        assert!((w.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leveling_triggers_beyond_threshold() {
+        let mut w = WearTracker::new(2);
+        for _ in 0..4 {
+            w.record_erase(blk(0));
+        }
+        w.record_erase(blk(1));
+        assert!(w.needs_leveling(), "spread 3 > threshold 2");
+        let mut calm = WearTracker::new(5);
+        calm.record_erase(blk(0));
+        assert!(!calm.needs_leveling());
+    }
+
+    #[test]
+    fn coldest_candidate_prefers_low_wear() {
+        let mut w = WearTracker::new(1);
+        w.record_erase(blk(0));
+        w.record_erase(blk(0));
+        w.record_erase(blk(1));
+        assert_eq!(w.coldest_candidate(&[blk(0), blk(1), blk(2)]), Some(blk(2)));
+        assert_eq!(w.coldest_candidate(&[]), None);
+    }
+
+    #[test]
+    fn empty_tracker_is_quiet() {
+        let w = WearTracker::new(0);
+        assert_eq!(w.spread(), (0, 0));
+        assert_eq!(w.mean(), 0.0);
+        assert!(!w.needs_leveling());
+    }
+}

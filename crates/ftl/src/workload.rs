@@ -1,0 +1,232 @@
+//! Synthetic workload generators.
+
+use crate::device::GeometryInfo;
+use crate::request::IoRequest;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A synthetic host workload.
+///
+/// ```
+/// use ftl::{FtlConfig, Ssd, Workload};
+///
+/// # fn main() -> ftl::Result<()> {
+/// let mut ssd = Ssd::new(FtlConfig::small_test(), 1)?;
+/// let requests = Workload::hot_cold_80_20().generate(&ssd.geometry_info(), 1_000, 7);
+/// ssd.run(&requests)?;
+/// assert_eq!(ssd.stats().host_writes, 1_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Sequential writes wrapping around the logical space.
+    SequentialWrite,
+    /// Uniform random writes over `span` of the logical space (0..1], with
+    /// optional interleaved reads.
+    RandomWrite {
+        /// Fraction of the logical space touched.
+        span: f64,
+        /// Fraction of requests that are reads of previously written pages.
+        read_fraction: f64,
+    },
+    /// Skewed writes: `hot_fraction` of the span receives
+    /// `hot_access_fraction` of the accesses (e.g. 0.2/0.8).
+    HotCold {
+        /// Fraction of pages that are hot.
+        hot_fraction: f64,
+        /// Fraction of accesses hitting the hot set.
+        hot_access_fraction: f64,
+        /// Fraction of the logical space touched.
+        span: f64,
+    },
+    /// Zipf-distributed writes over `span` of the logical space.
+    Zipf {
+        /// Skew parameter θ (0 = uniform; 0.99 = typical YCSB skew).
+        theta: f64,
+        /// Fraction of the logical space touched.
+        span: f64,
+    },
+}
+
+impl Workload {
+    /// Uniform random writes over a fraction of the logical space.
+    #[must_use]
+    pub fn random_write(span: f64) -> Self {
+        Workload::RandomWrite { span, read_fraction: 0.0 }
+    }
+
+    /// The classic 80/20 hot/cold writer over half the space.
+    #[must_use]
+    pub fn hot_cold_80_20() -> Self {
+        Workload::HotCold { hot_fraction: 0.2, hot_access_fraction: 0.8, span: 0.5 }
+    }
+
+    /// Generates `count` requests for a device of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device exports no logical pages.
+    #[must_use]
+    pub fn generate(&self, info: &GeometryInfo, count: usize, seed: u64) -> Vec<IoRequest> {
+        let capacity = info.logical_pages;
+        assert!(capacity > 0, "device exports no logical pages");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(count);
+        match *self {
+            Workload::SequentialWrite => {
+                for i in 0..count {
+                    out.push(IoRequest::write(i as u64 % capacity));
+                }
+            }
+            Workload::RandomWrite { span, read_fraction } => {
+                let span_pages = span_pages(capacity, span);
+                let mut written: Vec<u64> = Vec::new();
+                for _ in 0..count {
+                    if !written.is_empty() && rng.random_range(0.0..1.0) < read_fraction {
+                        let idx = rng.random_range(0..written.len());
+                        out.push(IoRequest::read(written[idx]));
+                    } else {
+                        let lpn = rng.random_range(0..span_pages);
+                        if written.len() < 65_536 {
+                            written.push(lpn);
+                        }
+                        out.push(IoRequest::write(lpn));
+                    }
+                }
+            }
+            Workload::HotCold { hot_fraction, hot_access_fraction, span } => {
+                let span_pages = span_pages(capacity, span);
+                let hot_pages = ((span_pages as f64 * hot_fraction) as u64).max(1);
+                for _ in 0..count {
+                    let lpn = if rng.random_range(0.0..1.0) < hot_access_fraction {
+                        rng.random_range(0..hot_pages)
+                    } else {
+                        hot_pages + rng.random_range(0..(span_pages - hot_pages).max(1))
+                    };
+                    out.push(IoRequest::write(lpn.min(capacity - 1)));
+                }
+            }
+            Workload::Zipf { theta, span } => {
+                let span_pages = span_pages(capacity, span).min(1 << 20);
+                let cdf = zipf_cdf(span_pages as usize, theta);
+                for _ in 0..count {
+                    let u = rng.random_range(0.0..1.0);
+                    let rank = cdf.partition_point(|&c| c < u) as u64;
+                    out.push(IoRequest::write(rank.min(span_pages - 1)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Attaches Poisson arrival times (exponential inter-arrivals with the
+/// given mean, µs) to a request stream for [`Ssd::run_timed`].
+///
+/// [`Ssd::run_timed`]: crate::Ssd::run_timed
+#[must_use]
+pub fn poisson_arrivals(
+    requests: &[IoRequest],
+    mean_interarrival_us: f64,
+    seed: u64,
+) -> Vec<(f64, IoRequest)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0.0f64;
+    requests
+        .iter()
+        .map(|&r| {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            now += -mean_interarrival_us * u.ln();
+            (now, r)
+        })
+        .collect()
+}
+
+fn span_pages(capacity: u64, span: f64) -> u64 {
+    ((capacity as f64 * span.clamp(0.0, 1.0)) as u64).clamp(1, capacity)
+}
+
+/// Cumulative Zipf distribution over `n` ranks with skew `theta`.
+fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoOp;
+
+    fn info(pages: u64) -> GeometryInfo {
+        GeometryInfo { logical_pages: pages, physical_pages: pages * 2, pages_per_superblock: 48 }
+    }
+
+    #[test]
+    fn sequential_wraps_around() {
+        let reqs = Workload::SequentialWrite.generate(&info(4), 6, 0);
+        let lpns: Vec<u64> = reqs.iter().map(|r| r.lpn).collect();
+        assert_eq!(lpns, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn random_write_stays_in_span() {
+        let reqs = Workload::random_write(0.5).generate(&info(100), 1000, 1);
+        assert!(reqs.iter().all(|r| r.lpn < 50));
+        assert!(reqs.iter().all(|r| r.op == IoOp::Write));
+    }
+
+    #[test]
+    fn read_fraction_mixes_reads() {
+        let w = Workload::RandomWrite { span: 1.0, read_fraction: 0.5 };
+        let reqs = w.generate(&info(100), 2000, 2);
+        let reads = reqs.iter().filter(|r| r.op == IoOp::Read).count();
+        assert!((800..1200).contains(&reads), "{reads} reads");
+    }
+
+    #[test]
+    fn hot_cold_skews_towards_hot_set() {
+        let w = Workload::HotCold { hot_fraction: 0.2, hot_access_fraction: 0.8, span: 1.0 };
+        let reqs = w.generate(&info(1000), 5000, 3);
+        let hot = reqs.iter().filter(|r| r.lpn < 200).count();
+        assert!(hot as f64 > 0.7 * 5000.0, "{hot} hot hits");
+    }
+
+    #[test]
+    fn zipf_head_is_heavier_than_tail() {
+        let w = Workload::Zipf { theta: 0.99, span: 1.0 };
+        let reqs = w.generate(&info(1000), 5000, 4);
+        let head = reqs.iter().filter(|r| r.lpn < 10).count();
+        let tail = reqs.iter().filter(|r| r.lpn >= 500).count();
+        assert!(head > tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let w = Workload::Zipf { theta: 0.0, span: 1.0 };
+        let reqs = w.generate(&info(10), 10_000, 5);
+        let zero = reqs.iter().filter(|r| r.lpn == 0).count();
+        assert!((700..1300).contains(&zero), "{zero}");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_with_right_mean() {
+        let reqs: Vec<IoRequest> = (0..5000).map(IoRequest::write).collect();
+        let timed = poisson_arrivals(&reqs, 100.0, 3);
+        assert!(timed.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mean = timed.last().unwrap().0 / 5000.0;
+        assert!((mean - 100.0).abs() < 10.0, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = Workload::random_write(1.0);
+        assert_eq!(w.generate(&info(50), 100, 9), w.generate(&info(50), 100, 9));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: the simulated SSD must agree with an in-memory
+//! model of the logical address space under arbitrary request streams.
+
+use ftl::{FtlConfig, IoRequest, OrganizationScheme, Ssd};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64),
+    Read(u64),
+    Trim(u64),
+}
+
+fn arb_ops(capacity: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..10, 0..capacity).prop_map(|(kind, lpn)| match kind {
+            0..=5 => Op::Write(lpn),
+            6..=8 => Op::Read(lpn),
+            _ => Op::Trim(lpn),
+        }),
+        0..len,
+    )
+}
+
+fn schemes() -> [OrganizationScheme; 3] {
+    [
+        OrganizationScheme::Random,
+        OrganizationScheme::Sequential,
+        OrganizationScheme::QstrMed { candidates: 4 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn device_agrees_with_model(ops in arb_ops(200, 400), seed in any::<u64>(), scheme_idx in 0usize..3) {
+        let mut config = FtlConfig::small_test();
+        config.scheme = schemes()[scheme_idx];
+        let mut dev = Ssd::new(config, seed).unwrap();
+        let capacity = dev.geometry_info().logical_pages;
+        let mut model: HashMap<u64, ()> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Write(lpn) if lpn < capacity => {
+                    dev.write(lpn).unwrap();
+                    model.insert(lpn, ());
+                }
+                Op::Read(lpn) if lpn < capacity => {
+                    let got = dev.read(lpn).unwrap();
+                    prop_assert_eq!(got.is_some(), model.contains_key(&lpn),
+                        "read({}) visibility mismatch", lpn);
+                }
+                Op::Trim(lpn) if lpn < capacity => {
+                    dev.trim(lpn).unwrap();
+                    model.remove(&lpn);
+                }
+                _ => {}
+            }
+        }
+        // After a flush, every model page must still be readable.
+        dev.flush().unwrap();
+        for lpn in model.keys() {
+            prop_assert!(dev.read(*lpn).unwrap().is_some(), "lost page {}", lpn);
+        }
+    }
+
+    #[test]
+    fn valid_pages_never_exceed_logical_capacity(writes in proptest::collection::vec(0u64..150, 0..600), seed in any::<u64>()) {
+        let mut dev = Ssd::new(FtlConfig::small_test(), seed).unwrap();
+        let capacity = dev.geometry_info().logical_pages;
+        let mut distinct = std::collections::HashSet::new();
+        for lpn in writes {
+            if lpn < capacity {
+                dev.write(lpn).unwrap();
+                distinct.insert(lpn);
+            }
+        }
+        dev.flush().unwrap();
+        prop_assert_eq!(dev.valid_pages(), distinct.len());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(n_writes in 1usize..400, seed in any::<u64>()) {
+        let mut dev = Ssd::new(FtlConfig::small_test(), seed).unwrap();
+        let capacity = dev.geometry_info().logical_pages;
+        for i in 0..n_writes {
+            dev.write(i as u64 % (capacity / 2).max(1)).unwrap();
+        }
+        let s = dev.stats();
+        prop_assert_eq!(s.host_writes, n_writes as u64);
+        prop_assert!(s.waf() >= 1.0 || s.gc_relocations == 0);
+        prop_assert!(s.extra_program_us >= 0.0);
+        prop_assert!(s.busy_us > 0.0);
+        prop_assert_eq!(s.write_latency.len(), n_writes);
+    }
+
+    #[test]
+    fn gc_reclaims_enough_to_keep_writing(seed in any::<u64>()) {
+        // Overwrite a small working set many times: every write must succeed
+        // because GC always finds nearly-empty victims.
+        let mut dev = Ssd::new(FtlConfig::small_test(), seed).unwrap();
+        let capacity = dev.geometry_info().logical_pages;
+        let span = (capacity / 4).max(1);
+        for i in 0..(capacity * 4) {
+            dev.write(i % span).unwrap();
+        }
+        prop_assert!(dev.stats().gc_runs > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_parser_never_panics(input in "[ -~\n]{0,256}") {
+        // Arbitrary printable input: parse must return Ok or Err, not panic.
+        let _ = ftl::trace::parse_trace(input.as_bytes());
+    }
+
+    #[test]
+    fn parsed_traces_roundtrip_through_fold(lpns in proptest::collection::vec(0u64..10_000, 0..50), capacity in 1u64..500) {
+        let text: String = lpns.iter().map(|l| format!("W,{l}\n")).collect();
+        let reqs = ftl::trace::parse_trace(text.as_bytes()).unwrap();
+        let folded = ftl::trace::fold_to_capacity(&reqs, capacity);
+        prop_assert_eq!(folded.len(), reqs.len());
+        prop_assert!(folded.iter().all(|r| r.lpn < capacity));
+    }
+}
+
+#[test]
+fn read_your_writes_with_requests_api() {
+    let mut dev = Ssd::new(FtlConfig::small_test(), 1).unwrap();
+    let reqs: Vec<IoRequest> =
+        (0..50).map(IoRequest::write).chain((0..50).map(IoRequest::read)).collect();
+    dev.run(&reqs).unwrap();
+    assert_eq!(dev.stats().host_reads, 50);
+    assert_eq!(dev.stats().read_latency.len(), 50);
+}

@@ -1,0 +1,58 @@
+//! Characterization curves (the paper's Figure 5): per-block erase latency
+//! across two chips and per-word-line program latency, printed as CSV.
+//!
+//! ```text
+//! cargo run --release --example characterization > fig5.csv
+//! ```
+//!
+//! A flat run of equal values is a group of process-similar blocks; spikes
+//! are outlier blocks; the two chips show visibly different word-line
+//! profiles (chip-to-chip process variation).
+
+use superpage::flash_model::{FlashArray, FlashConfig};
+
+fn main() {
+    let config = FlashConfig::builder()
+        .chips(2)
+        .planes_per_chip(4)
+        .blocks_per_plane(400)
+        .build();
+    let array = FlashArray::new(config.clone(), 1);
+    let model = array.latency_model();
+
+    println!("kind,chip,plane,block,lwl,latency_us");
+    for addr in config.geometry.blocks() {
+        let tbers = model.erase_latency_us(addr, 0);
+        println!("erase,{},{},{},,{:.1}", addr.chip.0, addr.plane.0, addr.block.0, tbers);
+    }
+    // One block per plane: the per-word-line program profile.
+    for addr in config.geometry.blocks().filter(|a| a.block.0 == 25) {
+        for lwl in config.geometry.lwls() {
+            let t = model.program_latency_us(addr.wl(lwl), 1);
+            println!(
+                "program,{},{},{},{},{:.1}",
+                addr.chip.0, addr.plane.0, addr.block.0, lwl.0, t
+            );
+        }
+    }
+    // A summary a human can eyeball without plotting.
+    let mut per_chip: Vec<(f64, u32)> = vec![(0.0, 0); 2];
+    for addr in config.geometry.blocks() {
+        let e = model.erase_latency_us(addr, 0);
+        let c = addr.chip.0 as usize;
+        per_chip[c].0 += e;
+        per_chip[c].1 += 1;
+    }
+    for (c, (sum, n)) in per_chip.iter().enumerate() {
+        eprintln!("chip {c}: mean tBERS {:.1} us over {n} blocks", sum / f64::from(*n));
+    }
+
+    // Persist the full characterization so later runs can skip it
+    // (reload with `pvcheck::io::read_pool`).
+    let pool = superpage::pvcheck::Characterizer::new(&config).snapshot(model, 0);
+    let file = std::fs::File::create("characterization_pool.csv")
+        .expect("create characterization_pool.csv");
+    superpage::pvcheck::io::write_pool(&pool, std::io::BufWriter::new(file))
+        .expect("write pool CSV");
+    eprintln!("wrote characterization_pool.csv ({} blocks)", pool.len());
+}

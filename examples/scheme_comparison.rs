@@ -1,0 +1,49 @@
+//! Mini Table I: run all eight organization directions on one chip group
+//! and print their extra program latency against the random baseline.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use superpage::flash_model::{FlashArray, FlashConfig};
+use superpage::pvcheck::assembly::{
+    Assembler, LatencySortAssembly, OptimalAssembly, QstrMed, RandomAssembly, RankAssembly,
+    RankStrategy, SequentialAssembly, SortKey,
+};
+use superpage::pvcheck::{BlockPool, Characterizer, ExtraLatency};
+
+fn avg_extra_pgm(pool: &BlockPool, assembler: &mut dyn Assembler) -> f64 {
+    let sbs = assembler.assemble(pool);
+    sbs.iter()
+        .map(|sb| ExtraLatency::of_superblock(pool, sb).expect("valid members").program_us)
+        .sum::<f64>()
+        / sbs.len() as f64
+}
+
+fn main() {
+    let config = FlashConfig::builder().blocks_per_plane(400).build();
+    let array = FlashArray::new(config.clone(), 0);
+    let pool = Characterizer::new(&config).snapshot(array.latency_model(), 0);
+
+    let mut schemes: Vec<Box<dyn Assembler>> = vec![
+        Box::new(RandomAssembly::new(9)),
+        Box::new(SequentialAssembly::new()),
+        Box::new(LatencySortAssembly::new(SortKey::Erase)),
+        Box::new(LatencySortAssembly::new(SortKey::Program)),
+        Box::new(OptimalAssembly::new(8)),
+        Box::new(RankAssembly::new(RankStrategy::Lwl, 8)),
+        Box::new(RankAssembly::new(RankStrategy::Pwl, 8)),
+        Box::new(RankAssembly::new(RankStrategy::Str, 8)),
+        Box::new(RankAssembly::new(RankStrategy::StrMedian, 4)),
+        Box::new(QstrMed::with_candidates(4)),
+    ];
+
+    let baseline = avg_extra_pgm(&pool, schemes[0].as_mut());
+    println!("{:<14} {:>16} {:>10}", "Method", "PGM LTN (us)", "Imp. %");
+    println!("{:-<42}", "");
+    println!("{:<14} {:>16.2} {:>10}", "Random", baseline, "-");
+    for s in schemes.iter_mut().skip(1) {
+        let v = avg_extra_pgm(&pool, s.as_mut());
+        println!("{:<14} {:>16.2} {:>9.2}%", s.name(), v, (1.0 - v / baseline) * 100.0);
+    }
+}

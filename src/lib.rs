@@ -1,0 +1,39 @@
+//! # superpage
+//!
+//! Facade crate for the reproduction of *"Are Superpages Super-fast?
+//! Distilling Flash Blocks to Unify Flash Pages of a Superpage in an SSD"*
+//! (HPCA 2024).
+//!
+//! This crate re-exports the three layers of the system:
+//!
+//! * [`flash_model`] — a deterministic process-variation model of 3D NAND
+//!   flash (geometry, latency synthesis, stateful chips and multi-plane
+//!   commands);
+//! * [`pvcheck`] — the paper's contribution: extra-latency metrics, block
+//!   characterization, the eight superblock assembly directions, and the
+//!   practical QSTR-MED runtime scheme;
+//! * [`ftl`] — an SSD/FTL simulator substrate that exercises QSTR-MED's
+//!   gather/assemble/allocate pipeline under host workloads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use superpage::flash_model::{FlashConfig, FlashArray};
+//! use superpage::pvcheck::{Characterizer, ExtraLatency, assembly::{Assembler, QstrMed, SpeedClass}};
+//!
+//! // A small geometry keeps the doctest fast; `FlashConfig::paper_platform()`
+//! // matches the paper's 4-pool, 96-layer TLC setup.
+//! let config = FlashConfig::small_test();
+//! let mut array = FlashArray::new(config.clone(), 42);
+//! let pool = Characterizer::new(&config).characterize_array(&mut array).expect("characterize");
+//!
+//! let mut qstr = QstrMed::with_candidates(4);
+//! let sbs = qstr.assemble(&pool);
+//! assert!(!sbs.is_empty());
+//! let extra = ExtraLatency::of_superblock(&pool, &sbs[0]).expect("members come from the pool");
+//! assert!(extra.program_us >= 0.0);
+//! ```
+
+pub use flash_model;
+pub use ftl;
+pub use pvcheck;

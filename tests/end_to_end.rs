@@ -1,0 +1,149 @@
+//! Workspace integration tests: the full pipeline across all three crates
+//! through the `superpage` facade.
+
+use superpage::flash_model::{FlashArray, FlashConfig};
+use superpage::ftl::{FtlConfig, OrganizationScheme, Ssd, Workload};
+use superpage::pvcheck::assembly::{
+    Assembler, OptimalAssembly, QstrMed, RandomAssembly, RankAssembly, RankStrategy, SpeedClass,
+};
+use superpage::pvcheck::{overhead, BlockPool, Characterizer, ExtraLatency, Superblock};
+
+fn test_config() -> FlashConfig {
+    FlashConfig::builder().blocks_per_plane(64).pwl_layers(24).build()
+}
+
+fn characterize(seed: u64) -> (FlashConfig, BlockPool) {
+    let config = test_config();
+    let array = FlashArray::new(config.clone(), seed);
+    let pool = Characterizer::new(&config).snapshot(array.latency_model(), 0);
+    (config, pool)
+}
+
+fn avg_extra(pool: &BlockPool, sbs: &[Superblock]) -> (f64, f64) {
+    let mut pgm = 0.0;
+    let mut ers = 0.0;
+    for sb in sbs {
+        let e = ExtraLatency::of_superblock(pool, sb).unwrap();
+        pgm += e.program_us;
+        ers += e.erase_us;
+    }
+    (pgm / sbs.len() as f64, ers / sbs.len() as f64)
+}
+
+#[test]
+fn characterization_through_real_operations_matches_snapshot() {
+    let config = test_config();
+    let mut array = FlashArray::new(config.clone(), 5);
+    let chr = Characterizer::new(&config);
+    let via_ops = chr.characterize_array(&mut array).unwrap();
+    let via_model = chr.snapshot(array.latency_model(), 0);
+    for p in via_ops.iter() {
+        assert_eq!(p.tprog_us(), via_model.profile(p.addr()).unwrap().tprog_us());
+    }
+}
+
+#[test]
+fn paper_headline_ordering_holds_on_a_small_group() {
+    let (_, pool) = characterize(3);
+    let (rnd_pgm, rnd_ers) = avg_extra(&pool, &RandomAssembly::new(1).assemble(&pool));
+    let (qstr_pgm, qstr_ers) = avg_extra(&pool, &QstrMed::with_candidates(4).assemble(&pool));
+    let (opt_pgm, _) = avg_extra(&pool, &OptimalAssembly::new(4).assemble(&pool));
+    // The paper's story: optimal < QSTR-MED < random on extra PGM latency,
+    // and QSTR-MED also unifies erase latency.
+    assert!(opt_pgm < rnd_pgm);
+    assert!(qstr_pgm < rnd_pgm);
+    assert!(qstr_ers < rnd_ers);
+}
+
+#[test]
+fn qstr_med_approximates_str_med() {
+    let (_, pool) = characterize(8);
+    let (str_pgm, _) =
+        avg_extra(&pool, &RankAssembly::new(RankStrategy::StrMedian, 4).assemble(&pool));
+    let (qstr_pgm, _) = avg_extra(&pool, &QstrMed::with_candidates(4).assemble(&pool));
+    // Figure 14: "their capabilities ... are equivalent". Allow a few percent.
+    let rel = (qstr_pgm - str_pgm).abs() / str_pgm;
+    assert!(rel < 0.10, "STR-MED {str_pgm} vs QSTR-MED {qstr_pgm} ({rel:.3} apart)");
+}
+
+#[test]
+fn runtime_gathering_equals_offline_characterization() {
+    // Program a block through the FTL-visible path and check the gathered
+    // summary equals the offline profile's summary.
+    let config = test_config();
+    let mut array = FlashArray::new(config.clone(), 4);
+    let chr = Characterizer::new(&config);
+    let pool = chr.characterize_array(&mut array).unwrap();
+    let profile = pool.iter().next().unwrap();
+    let offline = profile.summary(config.geometry.strings());
+
+    let mut gatherer = superpage::pvcheck::gather::BlockGatherer::new(
+        profile.addr(),
+        config.geometry.strings(),
+        config.geometry.pwl_layers(),
+    );
+    for (i, &t) in profile.tprog_us().iter().enumerate() {
+        gatherer.record(i as u32, t).unwrap();
+    }
+    let online = gatherer.finish().unwrap();
+    assert_eq!(online.eigen, offline.eigen);
+    assert!((online.pgm_sum_us - offline.pgm_sum_us).abs() < 1e-6);
+}
+
+#[test]
+fn on_demand_classes_route_by_speed() {
+    let (_, pool) = characterize(2);
+    let mut q = QstrMed::with_candidates(4);
+    let strings = pool.strings();
+    for p in 0..pool.pool_count() {
+        for b in pool.pool(p) {
+            q.insert(p, b.summary(strings));
+        }
+    }
+    let fast = q.assemble_on_demand(SpeedClass::Fast).unwrap();
+    let slow = q.assemble_on_demand(SpeedClass::Slow).unwrap();
+    let sum = |sb: &Superblock| -> f64 {
+        sb.members.iter().map(|&m| pool.profile(m).unwrap().pgm_sum_us()).sum()
+    };
+    assert!(sum(&fast) < sum(&slow));
+}
+
+#[test]
+fn ssd_end_to_end_prefers_qstr_med() {
+    let run = |scheme| {
+        let mut config = FtlConfig::small_test();
+        config.scheme = scheme;
+        let mut ssd = Ssd::new(config, 17).unwrap();
+        let reqs = Workload::hot_cold_80_20().generate(&ssd.geometry_info(), 20_000, 3);
+        ssd.run(&reqs).unwrap();
+        (ssd.stats().extra_program_per_op_us(), ssd.stats().extra_erase_per_op_us())
+    };
+    let (rnd_pgm, _rnd_ers) = run(OrganizationScheme::Random);
+    let (qstr_pgm, _qstr_ers) = run(OrganizationScheme::QstrMed { candidates: 4 });
+    assert!(
+        qstr_pgm < rnd_pgm,
+        "end-to-end extra PGM per op: QSTR {qstr_pgm} vs random {rnd_pgm}"
+    );
+}
+
+#[test]
+fn overhead_constants_match_paper() {
+    assert_eq!(overhead::str_med_distance_checks(4, 4), 1536);
+    assert_eq!(overhead::qstr_med_distance_checks(4, 4), 12);
+    assert!((overhead::check_reduction_percent(4, 4, 4) - 99.22).abs() < 0.01);
+    assert_eq!(overhead::per_block_metadata_bytes(384), 52);
+}
+
+#[test]
+fn wear_does_not_break_qstr_advantage() {
+    // Figure 15's claim: the improvement persists across P/E cycles.
+    let config = test_config();
+    let array = FlashArray::new(config.clone(), 6);
+    let chr = Characterizer::new(&config);
+    for pe in [0u32, 1500, 3000] {
+        let pool = chr.snapshot(array.latency_model(), pe);
+        let (rnd, _) = avg_extra(&pool, &RandomAssembly::new(1).assemble(&pool));
+        let (qstr, _) = avg_extra(&pool, &QstrMed::with_candidates(4).assemble(&pool));
+        assert!(qstr < rnd, "at PE {pe}: QSTR {qstr} vs random {rnd}");
+    }
+}
