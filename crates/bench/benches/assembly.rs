@@ -7,7 +7,7 @@ use pvcheck::assembly::{
     Assembler, LatencySortAssembly, OptimalAssembly, QstrMed, RandomAssembly, RankAssembly,
     RankStrategy, SequentialAssembly, SortKey,
 };
-use pvcheck::{BlockPool, Characterizer};
+use pvcheck::{BlockPool, Characterizer, SpeedClass};
 
 fn pool() -> BlockPool {
     let config = FlashConfig {
@@ -42,5 +42,55 @@ fn bench_assembly(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assembly);
+/// A QSTR-MED instance pre-loaded with every block summary of `pool` — the
+/// steady FTL state the on-demand path starts from.
+fn loaded_qstr(pool: &BlockPool, candidates: usize) -> QstrMed {
+    let mut qstr = QstrMed::with_candidates(candidates);
+    let strings = pool.strings();
+    for p in 0..pool.pool_count() {
+        for block in pool.pool(p) {
+            qstr.insert(p, block.summary(strings));
+        }
+    }
+    qstr
+}
+
+/// The FTL hot path in isolation: one `assemble_on_demand` call against a
+/// full pool set (fast and slow requests, plus draining the whole state).
+fn bench_on_demand(c: &mut Criterion) {
+    let pool = pool();
+    let mut group = c.benchmark_group("qstr_on_demand");
+    group.sample_size(20);
+    let loaded = loaded_qstr(&pool, 4);
+    group.bench_function("fast_one", |b| {
+        b.iter_batched(
+            || loaded.clone(),
+            |mut q| q.assemble_on_demand(SpeedClass::Fast).expect("pools are full"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("slow_one", |b| {
+        b.iter_batched(
+            || loaded.clone(),
+            |mut q| q.assemble_on_demand(SpeedClass::Slow).expect("pools are full"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("drain_all", |b| {
+        b.iter_batched(
+            || loaded.clone(),
+            |mut q| {
+                let mut n = 0usize;
+                while q.assemble_on_demand(SpeedClass::Fast).is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_on_demand);
 criterion_main!(benches);

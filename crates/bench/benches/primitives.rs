@@ -46,9 +46,8 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     c.bench_function("extra_latency_4x384", |b| {
-        let vs: Vec<Vec<f64>> = (0..4)
-            .map(|k| t.iter().map(|x| x + f64::from(k) * 3.0).collect())
-            .collect();
+        let vs: Vec<Vec<f64>> =
+            (0..4).map(|k| t.iter().map(|x| x + f64::from(k) * 3.0).collect()).collect();
         let refs: Vec<&[f64]> = vs.iter().map(|v| v.as_slice()).collect();
         let tbers = [3500.0, 3510.0, 3490.0, 3505.0];
         b.iter(|| pvcheck::ExtraLatency::of_vectors(black_box(&refs), black_box(&tbers)).unwrap())

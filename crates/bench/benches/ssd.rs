@@ -17,8 +17,7 @@ fn bench_ssd(c: &mut Criterion) {
                     let mut config = FtlConfig::small_test();
                     config.scheme = scheme;
                     let ssd = Ssd::new(config, 5).expect("valid config");
-                    let reqs =
-                        Workload::hot_cold_80_20().generate(&ssd.geometry_info(), 10_000, 9);
+                    let reqs = Workload::hot_cold_80_20().generate(&ssd.geometry_info(), 10_000, 9);
                     (ssd, reqs)
                 },
                 |(mut ssd, reqs)| {

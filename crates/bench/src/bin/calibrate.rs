@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p repro-bench --bin calibrate [--quick]`
 
 use repro_bench::report::{pct, us, TextTable};
-use repro_bench::runner::{run_scheme, run_schemes_parallel, ExperimentParams, SchemeKind};
+use repro_bench::runner::{
+    run_scheme_with, run_schemes_parallel_with, ExperimentParams, SchemeKind,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -13,14 +15,8 @@ fn main() {
     if quick {
         params.group_seeds = vec![0, 1];
         params.pe_points = vec![0];
-        params.config.geometry = flash_model::Geometry::new(
-            4,
-            1,
-            400,
-            96,
-            4,
-            flash_model::CellType::Tlc,
-        );
+        params.config.geometry =
+            flash_model::Geometry::new(4, 1, 400, 96, 4, flash_model::CellType::Tlc);
     }
 
     // Paper targets: (name, extra PGM µs, improvement %, extra ERS µs).
@@ -48,10 +44,11 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let baseline = run_scheme(&params, SchemeKind::Random);
+    let cache = params.cache();
+    let baseline = run_scheme_with(&params, &cache, SchemeKind::Random);
     eprintln!("baseline done in {:?}", t0.elapsed());
     let kinds: Vec<SchemeKind> = targets.iter().skip(1).map(|t| t.1).collect();
-    let results = run_schemes_parallel(&params, &kinds);
+    let results = run_schemes_parallel_with(&params, &cache, &kinds);
     eprintln!("all schemes done in {:?}", t0.elapsed());
 
     let mut table = TextTable::new([

@@ -1,0 +1,154 @@
+//! Before/after wall-clock for the characterization/pool layer rework.
+//!
+//! "Before" reproduces the pre-cache pipeline faithfully: every scheme
+//! re-characterizes each group at each P/E point with the single-threaded
+//! snapshot, and the roster is parallelized one-thread-per-scheme (so it is
+//! straggler-bound by `Optimal(8)`). "After" is the shipped pipeline: one
+//! shared [`PoolCache`], multi-threaded snapshots and a work queue over
+//! `(scheme, group, pe)` cells. Both produce bit-identical `SchemeStats`
+//! (asserted here on every run).
+//!
+//! Usage: `cargo run --release -p repro-bench --bin perf [--out BENCH_1.json]`
+
+use flash_model::{CellType, FlashArray, FlashConfig, Geometry};
+use pvcheck::Characterizer;
+use repro_bench::experiments::{table1_with, ComparisonResult};
+use repro_bench::runner::{measure, ExperimentParams, SchemeKind, SchemeStats};
+use std::time::Instant;
+
+/// The old `ExperimentParams::pools_at`: fresh pools, serial snapshot.
+fn pools_at_serial(params: &ExperimentParams, pe: u32) -> Vec<pvcheck::BlockPool> {
+    let chr = Characterizer::new(&params.config);
+    params
+        .group_seeds
+        .iter()
+        .map(|&seed| {
+            let array = FlashArray::new(params.config.clone(), seed);
+            chr.snapshot_serial(array.latency_model(), pe)
+        })
+        .collect()
+}
+
+/// The old `run_scheme`: characterizes inside the scheme loop.
+fn run_scheme_before(params: &ExperimentParams, kind: SchemeKind) -> SchemeStats {
+    let mut total_pgm = 0.0;
+    let mut total_ers = 0.0;
+    let mut total_n = 0usize;
+    for &pe in &params.pe_points {
+        for (gi, pool) in pools_at_serial(params, pe).iter().enumerate() {
+            let mut asm = kind.assembler(params.group_seeds[gi] ^ u64::from(pe));
+            let sbs = asm.assemble(pool);
+            let stats = measure(pool, &sbs, &asm.name());
+            total_pgm += stats.extra_pgm_us * stats.superblocks as f64;
+            total_ers += stats.extra_ers_us * stats.superblocks as f64;
+            total_n += stats.superblocks;
+        }
+    }
+    let n = total_n.max(1) as f64;
+    SchemeStats {
+        name: kind.name(),
+        extra_pgm_us: total_pgm / n,
+        extra_ers_us: total_ers / n,
+        superblocks: total_n,
+    }
+}
+
+/// The old `ComparisonResult::run` for Table I: sequential baseline, then
+/// one thread per roster scheme.
+fn table1_before(params: &ExperimentParams) -> ComparisonResult {
+    let baseline = run_scheme_before(params, SchemeKind::Random);
+    let roster = SchemeKind::table1_roster();
+    let schemes = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            roster.iter().map(|&k| scope.spawn(move || run_scheme_before(params, k))).collect();
+        handles.into_iter().map(|h| h.join().expect("scheme thread panicked")).collect()
+    });
+    ComparisonResult { baseline, schemes }
+}
+
+struct Timing {
+    name: &'static str,
+    before_s: f64,
+    after_s: f64,
+}
+
+impl Timing {
+    fn speedup(&self) -> f64 {
+        self.before_s / self.after_s
+    }
+}
+
+fn time_table1(name: &'static str, params: &ExperimentParams) -> Timing {
+    let t = Instant::now();
+    let before = table1_before(params);
+    let before_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let cache = params.cache();
+    let after = table1_with(params, &cache);
+    let after_s = t.elapsed().as_secs_f64();
+
+    // The speedup only counts if the numbers are untouched.
+    assert_eq!(before.baseline, after.baseline, "{name}: baseline drifted");
+    assert_eq!(before.schemes, after.schemes, "{name}: scheme stats drifted");
+    let pools = params.group_seeds.len() * params.pe_points.len();
+    assert_eq!(cache.builds(), pools, "{name}: cache built pools more than once");
+
+    eprintln!("{name}: before {before_s:.2}s, after {after_s:.2}s ({:.2}x)", before_s / after_s);
+    Timing { name, before_s, after_s }
+}
+
+fn main() {
+    let out = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.iter().position(|a| a == "--out") {
+            Some(i) => args.get(i + 1).cloned().expect("--out takes a path"),
+            None => "BENCH_1.json".to_string(),
+        }
+    };
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!("timing Table I (9 schemes) on {threads} threads ...");
+
+    // The smoke-test shape every PR gate runs ...
+    let quick = time_table1("table1_quick", &ExperimentParams::quick());
+    // ... and the `repro --quick` CLI shape: 2 groups x 2 P/E points on a
+    // 4 x 400-block, 96-layer array — the full Table I roster with real
+    // characterization volume.
+    let mut full = ExperimentParams {
+        group_seeds: vec![0, 1],
+        pe_points: vec![0, 3000],
+        ..ExperimentParams::default()
+    };
+    full.config.geometry = Geometry::new(4, 1, 400, 96, 4, CellType::Tlc);
+    full.config.variation = FlashConfig::paper_platform().variation;
+    let full = time_table1("table1_full_roster", &full);
+
+    let runs: Vec<String> = [&quick, &full]
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"name\": \"{}\", \"before_s\": {:.3}, \"after_s\": {:.3}, \"speedup\": {:.2}}}",
+                t.name,
+                t.before_s,
+                t.after_s,
+                t.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"table1 wall-clock: per-scheme serial characterization + \
+         thread-per-scheme (before) vs shared PoolCache + parallel snapshot + work queue (after)\",\n  \
+         \"command\": \"cargo run --release -p repro-bench --bin perf\",\n  \
+         \"host_threads\": {threads},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_1.json");
+    eprintln!("wrote {out}");
+
+    assert!(
+        quick.speedup() >= 2.0 || full.speedup() >= 2.0,
+        "expected >= 2x on a multi-core host: quick {:.2}x, full {:.2}x",
+        quick.speedup(),
+        full.speedup()
+    );
+}

@@ -67,8 +67,21 @@ fn parse_cli() -> Cli {
         commands.push("all".to_string());
     }
     const KNOWN: [&str; 15] = [
-        "all", "table1", "table2", "table5", "fig5", "fig6", "fig12", "fig13", "fig14", "fig15",
-        "overhead", "ablation", "stats", "qstr-sweep", "ers-corr",
+        "all",
+        "table1",
+        "table2",
+        "table5",
+        "fig5",
+        "fig6",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "overhead",
+        "ablation",
+        "stats",
+        "qstr-sweep",
+        "ers-corr",
     ];
     for c in &commands {
         assert!(
@@ -87,7 +100,13 @@ fn parse_cli() -> Cli {
 
 fn comparison_table(title: &str, r: &exp::ComparisonResult, out: &Path, file: &str) {
     let mut t = TextTable::new(["Method", "Extra PGM LTN", "Extra ERS LTN", "PGM LTN ↓", "Imp. %"]);
-    t.row([r.baseline.name.clone(), us(r.baseline.extra_pgm_us), us(r.baseline.extra_ers_us), "-".into(), "-".into()]);
+    t.row([
+        r.baseline.name.clone(),
+        us(r.baseline.extra_pgm_us),
+        us(r.baseline.extra_ers_us),
+        "-".into(),
+        "-".into(),
+    ]);
     for s in &r.schemes {
         t.row([
             s.name.clone(),
@@ -104,21 +123,39 @@ fn comparison_table(title: &str, r: &exp::ComparisonResult, out: &Path, file: &s
 fn main() {
     let cli = parse_cli();
     std::fs::create_dir_all(&cli.out).expect("create output dir");
+    // One characterization cache shared by every command in this invocation:
+    // `table1 table5 fig13` characterize each (group, P/E) pool once total.
+    let cache = cli.params.cache();
     let t0 = std::time::Instant::now();
     for cmd in &cli.commands {
         let run_all = cmd == "all";
         if run_all || cmd == "table1" {
             eprintln!("[{:?}] running table1 ...", t0.elapsed());
-            comparison_table("Table I: eight directions", &exp::table1(&cli.params), &cli.out, "table1.csv");
+            comparison_table(
+                "Table I: eight directions",
+                &exp::table1_with(&cli.params, &cache),
+                &cli.out,
+                "table1.csv",
+            );
         }
         if run_all || cmd == "table2" {
             eprintln!("[{:?}] running table2 ...", t0.elapsed());
-            comparison_table("Table II: STR-RANK window sizes", &exp::table2(&cli.params), &cli.out, "table2.csv");
+            comparison_table(
+                "Table II: STR-RANK window sizes",
+                &exp::table2_with(&cli.params, &cache),
+                &cli.out,
+                "table2.csv",
+            );
         }
         if run_all || cmd == "table5" || cmd == "fig12" {
             eprintln!("[{:?}] running table5/fig12 ...", t0.elapsed());
-            let r = exp::table5(&cli.params);
-            comparison_table("Table V: extra program and erase latency", &r, &cli.out, "table5.csv");
+            let r = exp::table5_with(&cli.params, &cache);
+            comparison_table(
+                "Table V: extra program and erase latency",
+                &r,
+                &cli.out,
+                "table5.csv",
+            );
             // Figure 12: improvement percentages.
             let mut t = TextTable::new(["Method", "PGM Imp. %", "ERS Imp. %"]);
             for s in &r.schemes {
@@ -133,7 +170,8 @@ fn main() {
         }
         if run_all || cmd == "fig5" {
             eprintln!("[{:?}] running fig5 ...", t0.elapsed());
-            let d = exp::fig5(cli.params.group_seeds[0], cli.params.config.geometry.blocks_per_plane());
+            let d =
+                exp::fig5(cli.params.group_seeds[0], cli.params.config.geometry.blocks_per_plane());
             let mut e = TextTable::new(["chip", "plane", "block", "tBERS_us"]);
             for (c, p, b, t) in &d.erase_rows {
                 e.row([c.to_string(), p.to_string(), b.to_string(), format!("{t:.1}")]);
@@ -141,7 +179,13 @@ fn main() {
             e.write_csv(cli.out.join("fig5_erase.csv")).expect("write csv");
             let mut pr = TextTable::new(["chip", "plane", "block", "lwl", "tPROG_us"]);
             for (c, p, b, w, t) in &d.program_rows {
-                pr.row([c.to_string(), p.to_string(), b.to_string(), w.to_string(), format!("{t:.1}")]);
+                pr.row([
+                    c.to_string(),
+                    p.to_string(),
+                    b.to_string(),
+                    w.to_string(),
+                    format!("{t:.1}"),
+                ]);
             }
             pr.write_csv(cli.out.join("fig5_program.csv")).expect("write csv");
             let mean_bers =
@@ -155,7 +199,7 @@ fn main() {
         }
         if run_all || cmd == "fig6" {
             eprintln!("[{:?}] running fig6 ...", t0.elapsed());
-            let d = exp::fig6(&cli.params);
+            let d = exp::fig6_with(&cli.params, &cache);
             let mut t = TextTable::new(["superblock", "extra_pgm_us", "extra_ers_us"]);
             for (i, p, e) in &d.per_superblock {
                 t.row([i.to_string(), format!("{p:.1}"), format!("{e:.1}")]);
@@ -170,7 +214,7 @@ fn main() {
         }
         if run_all || cmd == "fig13" {
             eprintln!("[{:?}] running fig13 ...", t0.elapsed());
-            let hists = exp::fig13(&cli.params, 500.0);
+            let hists = exp::fig13_with(&cli.params, &cache, 500.0);
             let max_bins = hists.iter().map(|h| h.counts.len()).max().unwrap_or(0);
             let mut header = vec!["bin_lo_us".to_string()];
             header.extend(hists.iter().map(|h| h.name.clone()));
@@ -187,14 +231,15 @@ fn main() {
         }
         if run_all || cmd == "fig14" {
             eprintln!("[{:?}] running fig14 ...", t0.elapsed());
-            let d = exp::fig14(&cli.params);
+            let d = exp::fig14_with(&cli.params, &cache);
             let mut t = TextTable::new(["rank", "str_med_us", "qstr_med_us", "random_us"]);
             for (i, s, q, r) in &d.rows {
                 t.row([i.to_string(), format!("{s:.1}"), format!("{q:.1}"), format!("{r:.1}")]);
             }
             t.write_csv(cli.out.join("fig14.csv")).expect("write csv");
-            let mean =
-                |f: fn(&(usize, f64, f64, f64)) -> f64| d.rows.iter().map(f).sum::<f64>() / d.rows.len() as f64;
+            let mean = |f: fn(&(usize, f64, f64, f64)) -> f64| {
+                d.rows.iter().map(f).sum::<f64>() / d.rows.len() as f64
+            };
             println!(
                 "== Figure 14 == mean extra PGM: STR-MED {} vs QSTR-MED {} vs random {} ({} superblocks); fig14.csv\n",
                 us(mean(|r| r.1)),
@@ -206,7 +251,7 @@ fn main() {
         if run_all || cmd == "fig15" {
             eprintln!("[{:?}] running fig15 ...", t0.elapsed());
             let pe_points: Vec<u32> = (0..=3000).step_by(300).collect();
-            let d = exp::fig15(&cli.params, &pe_points);
+            let d = exp::fig15_with(&cli.params, &cache, &pe_points);
             let mut t = TextTable::new(["pe", "random_pgm", "qstr_pgm", "random_ers", "qstr_ers"]);
             for (pe, rp, qp, re, qe) in &d.rows {
                 t.row([
@@ -222,7 +267,7 @@ fn main() {
         }
         if run_all || cmd == "overhead" {
             eprintln!("[{:?}] running overhead ...", t0.elapsed());
-            let o = exp::overhead_analysis(&cli.params);
+            let o = exp::overhead_analysis_with(&cli.params, &cache);
             println!("== Overhead (§VI-B-2, §VI-D) ==");
             println!("STR-MED(4) distance checks / superblock : {}", o.str_med_checks);
             println!("QSTR-MED(4) distance checks / superblock: {}", o.qstr_med_checks);
@@ -250,7 +295,7 @@ fn main() {
         }
         if run_all || cmd == "stats" {
             eprintln!("[{:?}] running stats ...", t0.elapsed());
-            let s = exp::pool_stats(&cli.params);
+            let s = exp::pool_stats_with(&cli.params, &cache);
             println!("== Characterization statistics (§III) ==");
             println!("erase-program correlation          : {:.3}", s.bers_pgm_correlation);
             println!("same-offset eigen distance (norm.) : {:.4}", s.same_offset_eigen_distance);
@@ -259,7 +304,8 @@ fn main() {
                 "offset similarity premise          : {}",
                 if s.offset_similarity_holds() { "holds" } else { "violated" }
             );
-            let mut t = TextTable::new(["pool", "mean PGM sum", "std PGM sum", "mean tBERS", "std tBERS"]);
+            let mut t =
+                TextTable::new(["pool", "mean PGM sum", "std PGM sum", "mean tBERS", "std tBERS"]);
             for (i, p) in s.per_pool.iter().enumerate() {
                 t.row([
                     i.to_string(),
@@ -274,7 +320,7 @@ fn main() {
         }
         if run_all || cmd == "qstr-sweep" {
             eprintln!("[{:?}] running qstr-sweep ...", t0.elapsed());
-            let rows = exp::qstr_candidate_sweep(&cli.params);
+            let rows = exp::qstr_candidate_sweep_with(&cli.params, &cache);
             let mut t = TextTable::new(["candidates", "extra PGM LTN", "checks/superblock"]);
             for (c, pgm, checks) in &rows {
                 t.row([c.to_string(), us(*pgm), format!("{checks:.1}")]);
@@ -297,7 +343,12 @@ fn main() {
             let rows = exp::retry_sensitivity(cli.params.group_seeds[0]);
             let mut t = TextTable::new(["pe", "retention_h", "mean read us", "mean retries"]);
             for (pe, ret, lat, retries) in &rows {
-                t.row([pe.to_string(), format!("{ret:.0}"), format!("{lat:.1}"), format!("{retries:.2}")]);
+                t.row([
+                    pe.to_string(),
+                    format!("{ret:.0}"),
+                    format!("{lat:.1}"),
+                    format!("{retries:.2}"),
+                ]);
             }
             println!("== Read-retry sensitivity (wear + retention) ==\n{}", t.render());
             t.write_csv(cli.out.join("retry.csv")).expect("write csv");

@@ -2,7 +2,8 @@
 //! experiment index and `EXPERIMENTS.md` for paper-vs-measured numbers.
 
 use crate::runner::{
-    measure_each, run_scheme, run_schemes_parallel, ExperimentParams, SchemeKind, SchemeStats,
+    measure_each, run_scheme, run_scheme_with, run_schemes_parallel_with, ExperimentParams,
+    PoolCache, SchemeKind, SchemeStats,
 };
 use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
 use ftl::{FtlConfig, OrganizationScheme, Ssd, Workload};
@@ -20,11 +21,26 @@ pub struct ComparisonResult {
 }
 
 impl ComparisonResult {
-    /// Runs the given roster against the random baseline.
+    /// Runs the given roster against the random baseline with a private
+    /// cache (see [`ComparisonResult::run_with`]).
     #[must_use]
     pub fn run(params: &ExperimentParams, roster: &[SchemeKind]) -> Self {
-        let baseline = run_scheme(params, SchemeKind::Random);
-        let schemes = run_schemes_parallel(params, roster);
+        Self::run_with(params, &params.cache(), roster)
+    }
+
+    /// Runs the given roster against the random baseline over a shared
+    /// characterization cache.
+    ///
+    /// The baseline is prepended to the roster so all scheme cells —
+    /// baseline included — drain from one work queue.
+    #[must_use]
+    pub fn run_with(params: &ExperimentParams, cache: &PoolCache, roster: &[SchemeKind]) -> Self {
+        let mut kinds = Vec::with_capacity(roster.len() + 1);
+        kinds.push(SchemeKind::Random);
+        kinds.extend_from_slice(roster);
+        let mut all = run_schemes_parallel_with(params, cache, &kinds);
+        let schemes = all.split_off(1);
+        let baseline = all.pop().expect("roster always contains the baseline");
         ComparisonResult { baseline, schemes }
     }
 }
@@ -32,32 +48,50 @@ impl ComparisonResult {
 /// Table I: the eight organization directions.
 #[must_use]
 pub fn table1(params: &ExperimentParams) -> ComparisonResult {
-    ComparisonResult::run(params, &SchemeKind::table1_roster())
+    table1_with(params, &params.cache())
+}
+
+/// [`table1`] over a shared characterization cache.
+#[must_use]
+pub fn table1_with(params: &ExperimentParams, cache: &PoolCache) -> ComparisonResult {
+    ComparisonResult::run_with(params, cache, &SchemeKind::table1_roster())
 }
 
 /// Table II: STR-RANK under window sizes 8, 6, 4, 2.
 #[must_use]
 pub fn table2(params: &ExperimentParams) -> ComparisonResult {
+    table2_with(params, &params.cache())
+}
+
+/// [`table2`] over a shared characterization cache.
+#[must_use]
+pub fn table2_with(params: &ExperimentParams, cache: &PoolCache) -> ComparisonResult {
     let roster = [
         SchemeKind::StrRank(8),
         SchemeKind::StrRank(6),
         SchemeKind::StrRank(4),
         SchemeKind::StrRank(2),
     ];
-    ComparisonResult::run(params, &roster)
+    ComparisonResult::run_with(params, cache, &roster)
 }
 
 /// Table V / Figure 12: the headline comparison (random, sequential,
 /// optimal, QSTR-MED(4), STR-MED(4)).
 #[must_use]
 pub fn table5(params: &ExperimentParams) -> ComparisonResult {
+    table5_with(params, &params.cache())
+}
+
+/// [`table5`] over a shared characterization cache.
+#[must_use]
+pub fn table5_with(params: &ExperimentParams, cache: &PoolCache) -> ComparisonResult {
     let roster = [
         SchemeKind::Sequential,
         SchemeKind::Optimal(8),
         SchemeKind::QstrMed(4),
         SchemeKind::StrMed(4),
     ];
-    ComparisonResult::run(params, &roster)
+    ComparisonResult::run_with(params, cache, &roster)
 }
 
 /// Figure 5 data: characterization curves.
@@ -114,20 +148,23 @@ pub struct Fig6Data {
 /// trend across P/E cycles.
 #[must_use]
 pub fn fig6(params: &ExperimentParams) -> Fig6Data {
-    let pool = &params.pools_at(params.pe_points[0])[0];
-    let sbs = SchemeKind::Random.assembler(params.group_seeds[0]).assemble(pool);
-    let per_superblock = measure_each(pool, &sbs)
+    fig6_with(params, &params.cache())
+}
+
+/// [`fig6`] over a shared characterization cache.
+#[must_use]
+pub fn fig6_with(params: &ExperimentParams, cache: &PoolCache) -> Fig6Data {
+    let pool = cache.pool(params.group_seeds[0], params.pe_points[0]);
+    let sbs = SchemeKind::Random.assembler(params.group_seeds[0]).assemble(&pool);
+    let per_superblock = measure_each(&pool, &sbs)
         .into_iter()
         .enumerate()
         .map(|(i, e)| (i, e.program_us, e.erase_us))
         .collect();
     let mut per_pe = Vec::new();
     for &pe in &params.pe_points {
-        let single = ExperimentParams {
-            pe_points: vec![pe],
-            ..params.clone()
-        };
-        let stats = run_scheme(&single, SchemeKind::Random);
+        let single = ExperimentParams { pe_points: vec![pe], ..params.clone() };
+        let stats = run_scheme_with(&single, cache, SchemeKind::Random);
         per_pe.push((pe, stats.extra_pgm_us, stats.extra_ers_us));
     }
     Fig6Data { per_superblock, per_pe }
@@ -147,10 +184,20 @@ pub struct Histogram {
 /// Figure 13: distribution of extra program latency per scheme.
 #[must_use]
 pub fn fig13(params: &ExperimentParams, bin_us: f64) -> Vec<Histogram> {
-    let kinds =
-        [SchemeKind::Random, SchemeKind::Sequential, SchemeKind::Optimal(8), SchemeKind::QstrMed(4)];
+    fig13_with(params, &params.cache(), bin_us)
+}
+
+/// [`fig13`] over a shared characterization cache.
+#[must_use]
+pub fn fig13_with(params: &ExperimentParams, cache: &PoolCache, bin_us: f64) -> Vec<Histogram> {
+    let kinds = [
+        SchemeKind::Random,
+        SchemeKind::Sequential,
+        SchemeKind::Optimal(8),
+        SchemeKind::QstrMed(4),
+    ];
     let pe = params.pe_points[0];
-    let pools = params.pools_at(pe);
+    let pools: Vec<_> = params.group_seeds.iter().map(|&seed| cache.pool(seed, pe)).collect();
     kinds
         .iter()
         .map(|&kind| {
@@ -181,10 +228,16 @@ pub struct Fig14Data {
 /// Figure 14: all superblocks, STR-MED(4) vs QSTR-MED(4).
 #[must_use]
 pub fn fig14(params: &ExperimentParams) -> Fig14Data {
-    let pool = &params.pools_at(params.pe_points[0])[0];
+    fig14_with(params, &params.cache())
+}
+
+/// [`fig14`] over a shared characterization cache.
+#[must_use]
+pub fn fig14_with(params: &ExperimentParams, cache: &PoolCache) -> Fig14Data {
+    let pool = cache.pool(params.group_seeds[0], params.pe_points[0]);
     let sorted_extras = |kind: SchemeKind| -> Vec<f64> {
-        let sbs = kind.assembler(params.group_seeds[0]).assemble(pool);
-        let mut v: Vec<f64> = measure_each(pool, &sbs).iter().map(|e| e.program_us).collect();
+        let sbs = kind.assembler(params.group_seeds[0]).assemble(&pool);
+        let mut v: Vec<f64> = measure_each(&pool, &sbs).iter().map(|e| e.program_us).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         v
     };
@@ -211,12 +264,18 @@ pub struct Fig15Data {
 /// Figure 15: QSTR-MED's extra latencies vs. the baseline across wear.
 #[must_use]
 pub fn fig15(params: &ExperimentParams, pe_points: &[u32]) -> Fig15Data {
+    fig15_with(params, &params.cache(), pe_points)
+}
+
+/// [`fig15`] over a shared characterization cache.
+#[must_use]
+pub fn fig15_with(params: &ExperimentParams, cache: &PoolCache, pe_points: &[u32]) -> Fig15Data {
     let rows = pe_points
         .iter()
         .map(|&pe| {
             let single = ExperimentParams { pe_points: vec![pe], ..params.clone() };
-            let rnd = run_scheme(&single, SchemeKind::Random);
-            let qstr = run_scheme(&single, SchemeKind::QstrMed(4));
+            let rnd = run_scheme_with(&single, cache, SchemeKind::Random);
+            let qstr = run_scheme_with(&single, cache, SchemeKind::QstrMed(4));
             (pe, rnd.extra_pgm_us, qstr.extra_pgm_us, rnd.extra_ers_us, qstr.extra_ers_us)
         })
         .collect();
@@ -241,9 +300,15 @@ pub struct OverheadData {
 /// Computing- and space-overhead analysis.
 #[must_use]
 pub fn overhead_analysis(params: &ExperimentParams) -> OverheadData {
-    let pool = &params.pools_at(params.pe_points[0])[0];
+    overhead_analysis_with(params, &params.cache())
+}
+
+/// [`overhead_analysis`] over a shared characterization cache.
+#[must_use]
+pub fn overhead_analysis_with(params: &ExperimentParams, cache: &PoolCache) -> OverheadData {
+    let pool = cache.pool(params.group_seeds[0], params.pe_points[0]);
     let mut qstr = pvcheck::assembly::QstrMed::with_candidates(4);
-    let sbs = qstr.assemble(pool);
+    let sbs = qstr.assemble(&pool);
     let measured = qstr.distance_checks() as f64 / sbs.len().max(1) as f64;
     let space_rows = vec![
         (1 << 40, 8 << 20, 384, overhead::drive_footprint_bytes(1 << 40, 8 << 20, 384)),
@@ -351,7 +416,11 @@ pub fn ablation(params: &ExperimentParams) -> Vec<(String, f64, f64)> {
         "no per-WL noise",
     ));
     rows.push(run_with(
-        flash_model::VariationConfig { layer_group_sigma_us: 0.0, chip_offset_sigma_us: 0.0, ..base },
+        flash_model::VariationConfig {
+            layer_group_sigma_us: 0.0,
+            chip_offset_sigma_us: 0.0,
+            ..base
+        },
         "no chip profile variation",
     ));
     rows
@@ -362,7 +431,17 @@ pub fn ablation(params: &ExperimentParams) -> Vec<(String, f64, f64)> {
 /// superblock)`.
 #[must_use]
 pub fn qstr_candidate_sweep(params: &ExperimentParams) -> Vec<(usize, f64, f64)> {
-    let pools = params.pools_at(params.pe_points[0]);
+    qstr_candidate_sweep_with(params, &params.cache())
+}
+
+/// [`qstr_candidate_sweep`] over a shared characterization cache.
+#[must_use]
+pub fn qstr_candidate_sweep_with(
+    params: &ExperimentParams,
+    cache: &PoolCache,
+) -> Vec<(usize, f64, f64)> {
+    let pe = params.pe_points[0];
+    let pools: Vec<_> = params.group_seeds.iter().map(|&seed| cache.pool(seed, pe)).collect();
     (1..=8)
         .map(|c| {
             let mut pgm = 0.0;
@@ -398,8 +477,11 @@ pub fn ers_corr_ablation(params: &ExperimentParams) -> Vec<(f64, f64, f64)> {
                 config: FlashConfig { geometry: params.config.geometry.clone(), variation },
                 ..params.clone()
             };
-            let rnd = run_scheme(&p, SchemeKind::Random);
-            let qstr = run_scheme(&p, SchemeKind::QstrMed(4));
+            // Each correlation variant is a different model, so it gets its
+            // own cache — but random and QSTR-MED share it.
+            let cache = p.cache();
+            let rnd = run_scheme_with(&p, &cache, SchemeKind::Random);
+            let qstr = run_scheme_with(&p, &cache, SchemeKind::QstrMed(4));
             (corr, rnd.extra_ers_us, qstr.extra_ers_us)
         })
         .collect()
@@ -409,8 +491,17 @@ pub fn ers_corr_ablation(params: &ExperimentParams) -> Vec<(f64, f64, f64)> {
 /// erase-program correlation and the same-offset similarity premise.
 #[must_use]
 pub fn pool_stats(params: &ExperimentParams) -> pvcheck::analysis::PoolStatistics {
-    let pool = &params.pools_at(params.pe_points[0])[0];
-    pvcheck::analysis::pool_statistics(pool)
+    pool_stats_with(params, &params.cache())
+}
+
+/// [`pool_stats`] over a shared characterization cache.
+#[must_use]
+pub fn pool_stats_with(
+    params: &ExperimentParams,
+    cache: &PoolCache,
+) -> pvcheck::analysis::PoolStatistics {
+    let pool = cache.pool(params.group_seeds[0], params.pe_points[0]);
+    pvcheck::analysis::pool_statistics(&pool)
 }
 
 /// Read-retry sensitivity (§VI-C's failure-rate axis): mean page-read

@@ -15,4 +15,4 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{ExperimentParams, SchemeKind, SchemeStats};
+pub use runner::{ExperimentParams, PoolCache, SchemeKind, SchemeStats};

@@ -1,0 +1,144 @@
+//! Memoized characterization results shared across experiments.
+//!
+//! Characterizing a group's pools — one [`BlockPool`] per `(group_seed,
+//! pe)` — dominates the wall-clock of every table in the evaluation, and
+//! the old harness recomputed it per scheme: Table I's nine schemes each
+//! re-characterized the same six groups at the same six P/E points. A
+//! [`PoolCache`] computes each pool exactly once, behind an `Arc` so every
+//! consumer shares the same immutable characterization pass.
+
+use flash_model::{FlashArray, FlashConfig};
+use pvcheck::{BlockPool, Characterizer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One memoization cell: filled at most once, shared by reference.
+type PoolCell = Arc<OnceLock<Arc<BlockPool>>>;
+
+/// Lazily memoizes [`BlockPool`]s keyed by `(group_seed, pe)`.
+///
+/// Thread-safe and exactly-once: concurrent requests for the same key block
+/// on one `OnceLock` cell, so a pool is characterized a single time no
+/// matter how many worker threads race for it. The map lock is only held
+/// while locating the cell, never while characterizing, so builds of
+/// *different* keys proceed in parallel.
+///
+/// The cache is tied to one [`FlashConfig`]; experiments that vary the
+/// configuration (the ablations) use a fresh cache per variant.
+#[derive(Debug)]
+pub struct PoolCache {
+    config: FlashConfig,
+    cells: Mutex<HashMap<(u64, u32), PoolCell>>,
+    builds: AtomicUsize,
+}
+
+impl PoolCache {
+    /// An empty cache for the given flash configuration.
+    #[must_use]
+    pub fn new(config: FlashConfig) -> Self {
+        PoolCache { config, cells: Mutex::new(HashMap::new()), builds: AtomicUsize::new(0) }
+    }
+
+    /// The configuration this cache characterizes under.
+    #[must_use]
+    pub fn config(&self) -> &FlashConfig {
+        &self.config
+    }
+
+    /// The characterized pools of group `group_seed` at P/E cycle `pe`,
+    /// building them on first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell map lock was poisoned by a panicking builder.
+    #[must_use]
+    pub fn pool(&self, group_seed: u64, pe: u32) -> Arc<BlockPool> {
+        let cell = {
+            let mut cells = self.cells.lock().expect("pool cache lock poisoned");
+            Arc::clone(cells.entry((group_seed, pe)).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            let array = FlashArray::new(self.config.clone(), group_seed);
+            let chr = Characterizer::new(&self.config);
+            Arc::new(chr.snapshot(array.latency_model(), pe))
+        }))
+    }
+
+    /// How many pools have been characterized (i.e. cache misses) so far.
+    #[must_use]
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(group_seed, pe)` keys requested so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell map lock was poisoned by a panicking builder.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("pool cache lock poisoned").len()
+    }
+
+    /// Whether no pool has been requested yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> PoolCache {
+        PoolCache::new(FlashConfig::builder().blocks_per_plane(8).pwl_layers(4).build())
+    }
+
+    #[test]
+    fn same_key_builds_once_and_shares_the_pool() {
+        let cache = small_cache();
+        let a = cache.pool(3, 0);
+        let b = cache.pool(3, 0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_pools() {
+        let cache = small_cache();
+        let by_seed = (cache.pool(0, 0), cache.pool(1, 0));
+        let by_pe = cache.pool(0, 1500);
+        assert_eq!(cache.builds(), 3);
+        assert_ne!(by_seed.0, by_seed.1);
+        assert_ne!(*by_seed.0, *by_pe);
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_build_exactly_once() {
+        let cache = small_cache();
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    for _ in 0..4 {
+                        let _ = cache.pool(7, 600);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_pool_matches_a_fresh_characterization() {
+        let cache = small_cache();
+        let cached = cache.pool(5, 300);
+        let array = FlashArray::new(cache.config().clone(), 5);
+        let fresh = Characterizer::new(cache.config()).snapshot(array.latency_model(), 300);
+        assert_eq!(*cached, fresh);
+    }
+}

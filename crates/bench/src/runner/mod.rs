@@ -1,5 +1,15 @@
 //! Shared experiment machinery: scheme dispatch, group averaging and the
 //! extra-latency statistics every table reports.
+//!
+//! Characterization is the expensive part, so it lives behind a
+//! [`PoolCache`]: every `_with` entry point takes a cache and the plain
+//! variants are convenience wrappers that build a private one. A whole
+//! Table-I-shaped run — nine schemes over the same groups and P/E points —
+//! then characterizes each `(group_seed, pe)` pool exactly once.
+
+mod cache;
+
+pub use cache::PoolCache;
 
 use flash_model::{FlashArray, FlashConfig};
 use pvcheck::assembly::{
@@ -7,6 +17,8 @@ use pvcheck::assembly::{
     RankStrategy, SequentialAssembly, SortKey,
 };
 use pvcheck::{BlockPool, Characterizer, ExtraLatency, Superblock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Which organization scheme to run (CLI-friendly dispatch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,14 +150,14 @@ impl ExperimentParams {
     /// A fast variant for smoke tests: one small group, one P/E point.
     #[must_use]
     pub fn quick() -> Self {
-        let config = FlashConfig::builder()
-            .blocks_per_plane(96)
-            .pwl_layers(24)
-            .build();
+        let config = FlashConfig::builder().blocks_per_plane(96).pwl_layers(24).build();
         ExperimentParams { config, group_seeds: vec![0], pe_points: vec![0] }
     }
 
     /// Characterized pools of every group at the given P/E point.
+    ///
+    /// Uncached — every call re-characterizes. Batch experiments go through
+    /// [`ExperimentParams::cache`] instead.
     #[must_use]
     pub fn pools_at(&self, pe: u32) -> Vec<BlockPool> {
         let chr = Characterizer::new(&self.config);
@@ -156,6 +168,13 @@ impl ExperimentParams {
                 chr.snapshot(array.latency_model(), pe)
             })
             .collect()
+    }
+
+    /// A fresh [`PoolCache`] for this configuration, to be shared by every
+    /// experiment run against these parameters.
+    #[must_use]
+    pub fn cache(&self) -> PoolCache {
+        PoolCache::new(self.config.clone())
     }
 }
 
@@ -191,23 +210,54 @@ pub fn measure_each(pool: &BlockPool, sbs: &[Superblock]) -> Vec<ExtraLatency> {
         .collect()
 }
 
-/// Runs one scheme over many groups and P/E points, averaging everything.
-///
-/// `seed_salt` decorrelates the random baseline across schemes.
-#[must_use]
-pub fn run_scheme(params: &ExperimentParams, kind: SchemeKind) -> SchemeStats {
+/// One work item of a batch run: scheme `kind` on group `gi` at P/E `pe`.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    kind_idx: usize,
+    pe: u32,
+    gi: usize,
+}
+
+/// The per-cell contribution to a scheme's averages: superblock-weighted
+/// extra latencies plus the superblock count, exactly the three terms the
+/// sequential accumulation adds per `(group, pe)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellResult {
+    pgm_weighted: f64,
+    ers_weighted: f64,
+    superblocks: usize,
+}
+
+/// Assembles and measures one cell. Factored out so the sequential path and
+/// the work queue produce bit-identical per-cell numbers by construction.
+fn run_cell(
+    params: &ExperimentParams,
+    cache: &PoolCache,
+    kind: SchemeKind,
+    cell: Cell,
+) -> CellResult {
+    let pool = cache.pool(params.group_seeds[cell.gi], cell.pe);
+    let mut asm = kind.assembler(params.group_seeds[cell.gi] ^ u64::from(cell.pe));
+    let sbs = asm.assemble(&pool);
+    let stats = measure(&pool, &sbs, &asm.name());
+    CellResult {
+        pgm_weighted: stats.extra_pgm_us * stats.superblocks as f64,
+        ers_weighted: stats.extra_ers_us * stats.superblocks as f64,
+        superblocks: stats.superblocks,
+    }
+}
+
+/// Reduces a scheme's cell results in the canonical order (P/E-major, then
+/// group) — the exact float-summation order of the sequential path, so
+/// parallel execution cannot perturb the result.
+fn reduce_cells(kind: SchemeKind, results: &[CellResult]) -> SchemeStats {
     let mut total_pgm = 0.0;
     let mut total_ers = 0.0;
     let mut total_n = 0usize;
-    for &pe in &params.pe_points {
-        for (gi, pool) in params.pools_at(pe).iter().enumerate() {
-            let mut asm = kind.assembler(params.group_seeds[gi] ^ u64::from(pe));
-            let sbs = asm.assemble(pool);
-            let stats = measure(pool, &sbs, &asm.name());
-            total_pgm += stats.extra_pgm_us * stats.superblocks as f64;
-            total_ers += stats.extra_ers_us * stats.superblocks as f64;
-            total_n += stats.superblocks;
-        }
+    for r in results {
+        total_pgm += r.pgm_weighted;
+        total_ers += r.ers_weighted;
+        total_n += r.superblocks;
     }
     let n = total_n.max(1) as f64;
     SchemeStats {
@@ -218,16 +268,88 @@ pub fn run_scheme(params: &ExperimentParams, kind: SchemeKind) -> SchemeStats {
     }
 }
 
-/// Runs several schemes in parallel (one thread per scheme).
+/// Runs one scheme over many groups and P/E points, averaging everything,
+/// reusing `cache` for characterization.
+#[must_use]
+pub fn run_scheme_with(
+    params: &ExperimentParams,
+    cache: &PoolCache,
+    kind: SchemeKind,
+) -> SchemeStats {
+    let mut results = Vec::with_capacity(params.pe_points.len() * params.group_seeds.len());
+    for &pe in &params.pe_points {
+        for gi in 0..params.group_seeds.len() {
+            results.push(run_cell(params, cache, kind, Cell { kind_idx: 0, pe, gi }));
+        }
+    }
+    reduce_cells(kind, &results)
+}
+
+/// Runs one scheme with a private, throwaway cache.
+///
+/// Batch callers share one cache via [`run_scheme_with`] instead.
+#[must_use]
+pub fn run_scheme(params: &ExperimentParams, kind: SchemeKind) -> SchemeStats {
+    run_scheme_with(params, &params.cache(), kind)
+}
+
+/// Runs several schemes in parallel over a shared characterization cache.
+///
+/// The unit of parallelism is one `(scheme, pe, group)` cell, drained from
+/// a shared work queue, so the load balances across cells of very uneven
+/// cost (Optimal windows vs. a random zip) instead of serializing behind
+/// the slowest scheme as the old thread-per-scheme split did. Each scheme's
+/// cells are then reduced in the canonical sequential order, which keeps
+/// the returned [`SchemeStats`] bit-identical to [`run_scheme`].
+#[must_use]
+pub fn run_schemes_parallel_with(
+    params: &ExperimentParams,
+    cache: &PoolCache,
+    kinds: &[SchemeKind],
+) -> Vec<SchemeStats> {
+    let mut cells =
+        Vec::with_capacity(kinds.len() * params.pe_points.len() * params.group_seeds.len());
+    for (kind_idx, _) in kinds.iter().enumerate() {
+        for &pe in &params.pe_points {
+            for gi in 0..params.group_seeds.len() {
+                cells.push(Cell { kind_idx, pe, gi });
+            }
+        }
+    }
+    let results: Vec<OnceLock<CellResult>> = (0..cells.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(cells.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell) = cells.get(idx) else { break };
+                let out = run_cell(params, cache, kinds[cell.kind_idx], cell);
+                results[idx].set(out).expect("each cell is claimed by one worker");
+            });
+        }
+    });
+    let per_scheme = params.pe_points.len() * params.group_seeds.len();
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(kind_idx, &kind)| {
+            let slice: Vec<CellResult> = results
+                [kind_idx * per_scheme..(kind_idx + 1) * per_scheme]
+                .iter()
+                .map(|r| *r.get().expect("all cells were drained"))
+                .collect();
+            reduce_cells(kind, &slice)
+        })
+        .collect()
+}
+
+/// Runs several schemes in parallel with a private, throwaway cache.
 #[must_use]
 pub fn run_schemes_parallel(params: &ExperimentParams, kinds: &[SchemeKind]) -> Vec<SchemeStats> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = kinds
-            .iter()
-            .map(|&k| scope.spawn(move || run_scheme(params, k)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("scheme thread panicked")).collect()
-    })
+    run_schemes_parallel_with(params, &params.cache(), kinds)
 }
 
 #[cfg(test)]

@@ -241,17 +241,14 @@ pub fn variance_decomposition(pool: &BlockPool) -> VarianceDecomposition {
             blocks.iter().map(|b| b.pgm_sum_us() / b.wl_count() as f64).collect();
         let pool_mean = block_means.iter().sum::<f64>() / block_means.len() as f64;
         between_pools += (pool_mean - grand_mean) * (pool_mean - grand_mean);
-        between_blocks += block_means
-            .iter()
-            .map(|m| (m - pool_mean) * (m - pool_mean))
-            .sum::<f64>()
-            / block_means.len() as f64;
+        between_blocks +=
+            block_means.iter().map(|m| (m - pool_mean) * (m - pool_mean)).sum::<f64>()
+                / block_means.len() as f64;
         within_blocks += blocks
             .iter()
             .zip(&block_means)
             .map(|(b, &m)| {
-                b.tprog_us().iter().map(|t| (t - m) * (t - m)).sum::<f64>()
-                    / b.wl_count() as f64
+                b.tprog_us().iter().map(|t| (t - m) * (t - m)).sum::<f64>() / b.wl_count() as f64
             })
             .sum::<f64>()
             / blocks.len() as f64;
@@ -345,8 +342,7 @@ mod tests {
         let pool = crate::Characterizer::new(&config).snapshot(array.latency_model(), 0);
         let a = layer_profile(&pool, 0);
         let b = layer_profile(&pool, 1);
-        let diff: f64 =
-            a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
         assert!(diff > 1.0, "chip profiles should differ, mean |Δ| = {diff}");
     }
 

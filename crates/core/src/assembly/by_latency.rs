@@ -76,11 +76,7 @@ mod tests {
         // The first superblock's members are each pool's fastest block.
         for &m in &sbs[0].members {
             let p = pool.pool_of(m).unwrap();
-            let min = pool
-                .pool(p)
-                .iter()
-                .map(|b| b.pgm_sum_us())
-                .fold(f64::INFINITY, f64::min);
+            let min = pool.pool(p).iter().map(|b| b.pgm_sum_us()).fold(f64::INFINITY, f64::min);
             assert_eq!(pool.profile(m).unwrap().pgm_sum_us(), min);
         }
     }

@@ -1,10 +1,10 @@
 //! Local optimal assembly (§IV-A-4): windowed brute force on the real
 //! objective.
 
-use crate::assembly::windowed::{assemble_rounds, for_each_combo};
+use crate::assembly::windowed::assemble_rounds;
 use crate::assembly::Assembler;
 use crate::profile::BlockPool;
-use crate::superblock::{extra_program_us, Superblock};
+use crate::superblock::Superblock;
 
 /// Enumerates every combination of the `window` fastest remaining blocks of
 /// each pool and keeps the one with the smallest *actual* extra program
@@ -43,24 +43,98 @@ impl Assembler for OptimalAssembly {
 
     fn assemble(&mut self, pool: &BlockPool) -> Vec<Superblock> {
         let pools = pool.pool_count();
-        let mut candidate: Vec<&[f64]> = Vec::with_capacity(pools);
+        let wl_count = pool.wl_count();
+        // Scratch min/max buffers, one pair per recursion level above the
+        // innermost, reused across rounds.
+        let mut scratch: Vec<(Vec<f64>, Vec<f64>)> =
+            vec![(vec![0.0; wl_count], vec![0.0; wl_count]); pools.saturating_sub(1)];
+        let top_min = vec![f64::INFINITY; wl_count];
+        let top_max = vec![f64::NEG_INFINITY; wl_count];
         assemble_rounds(pool, self.window, |windows| {
-            let sizes: Vec<usize> = windows.iter().map(|w| w.len()).collect();
+            let cands: Vec<Vec<&[f64]>> = (0..pools)
+                .map(|p| windows[p].iter().map(|&i| pool.pool(p)[i].tprog_us()).collect())
+                .collect();
             let mut best_score = f64::INFINITY;
             let mut best = vec![0usize; pools];
-            for_each_combo(&sizes, |picks| {
-                candidate.clear();
-                for (p, &pick) in picks.iter().enumerate() {
-                    candidate.push(pool.pool(p)[windows[p][pick]].tprog_us());
-                }
-                let s = extra_program_us(&candidate);
-                if s < best_score {
-                    best_score = s;
-                    best.copy_from_slice(picks);
-                }
-            });
+            let mut picks = vec![0usize; pools];
+            if !cands.iter().any(Vec::is_empty) {
+                search(
+                    &cands,
+                    pools - 1,
+                    &top_min,
+                    &top_max,
+                    &mut scratch,
+                    &mut picks,
+                    &mut best_score,
+                    &mut best,
+                );
+            }
             best
         })
+    }
+}
+
+/// Enumerates pick combinations in mixed-radix order (pool 0 varying
+/// fastest, exactly like the plain product loop) but carries per-word-line
+/// min/max of the already-chosen suffix pools, so scoring the innermost
+/// pool touches one candidate instead of all pools — and prunes any branch
+/// whose partial spread already reaches `best_score`.
+///
+/// Equivalence to the brute force is exact, not approximate: per-WL min/max
+/// are order-insensitive, the winning score is summed in the same WL order,
+/// and pruning only discards combinations whose score provably cannot be
+/// *strictly* below the incumbent — the same first-strictly-better combo
+/// wins (asserted by `matches_plain_brute_force`).
+#[allow(clippy::too_many_arguments)]
+fn search(
+    cands: &[Vec<&[f64]>],
+    level: usize,
+    suffix_min: &[f64],
+    suffix_max: &[f64],
+    scratch: &mut [(Vec<f64>, Vec<f64>)],
+    picks: &mut [usize],
+    best_score: &mut f64,
+    best: &mut [usize],
+) {
+    if level == 0 {
+        for (i, cand) in cands[0].iter().enumerate() {
+            picks[0] = i;
+            let mut sum = 0.0;
+            let mut pruned = false;
+            for (wl, &t) in cand.iter().enumerate() {
+                let max = if t > suffix_max[wl] { t } else { suffix_max[wl] };
+                let min = if t < suffix_min[wl] { t } else { suffix_min[wl] };
+                sum += max - min;
+                if sum >= *best_score {
+                    pruned = true;
+                    break;
+                }
+            }
+            if !pruned && sum < *best_score {
+                *best_score = sum;
+                best.copy_from_slice(picks);
+            }
+        }
+        return;
+    }
+    let ((level_min, level_max), rest) =
+        scratch.split_first_mut().expect("one scratch pair per non-innermost level");
+    for (i, cand) in cands[level].iter().enumerate() {
+        picks[level] = i;
+        // Merge this candidate into the suffix spread, and lower-bound the
+        // final score: adding pools can only widen each WL's spread.
+        let mut bound = 0.0;
+        for (wl, &t) in cand.iter().enumerate() {
+            let max = if t > suffix_max[wl] { t } else { suffix_max[wl] };
+            let min = if t < suffix_min[wl] { t } else { suffix_min[wl] };
+            level_min[wl] = min;
+            level_max[wl] = max;
+            bound += max - min;
+        }
+        if bound >= *best_score {
+            continue;
+        }
+        search(cands, level - 1, level_min, level_max, rest, picks, best_score, best);
     }
 }
 
@@ -72,9 +146,7 @@ mod tests {
     use crate::superblock::ExtraLatency;
 
     fn avg_extra_pgm(pool: &BlockPool, sbs: &[Superblock]) -> f64 {
-        sbs.iter()
-            .map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us)
-            .sum::<f64>()
+        sbs.iter().map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us).sum::<f64>()
             / sbs.len() as f64
     }
 
@@ -115,6 +187,43 @@ mod tests {
     #[test]
     fn name_includes_window() {
         assert_eq!(OptimalAssembly::new(8).name(), "Optimal(8)");
+    }
+
+    /// The plain windowed brute force the branch-and-bound search replaced.
+    fn assemble_brute_force(pool: &BlockPool, window: usize) -> Vec<Superblock> {
+        use crate::assembly::windowed::for_each_combo;
+        use crate::superblock::extra_program_us;
+        let pools = pool.pool_count();
+        let mut candidate: Vec<&[f64]> = Vec::with_capacity(pools);
+        assemble_rounds(pool, window, |windows| {
+            let sizes: Vec<usize> = windows.iter().map(|w| w.len()).collect();
+            let mut best_score = f64::INFINITY;
+            let mut best = vec![0usize; pools];
+            for_each_combo(&sizes, |picks| {
+                candidate.clear();
+                for (p, &pick) in picks.iter().enumerate() {
+                    candidate.push(pool.pool(p)[windows[p][pick]].tprog_us());
+                }
+                let s = extra_program_us(&candidate);
+                if s < best_score {
+                    best_score = s;
+                    best.copy_from_slice(picks);
+                }
+            });
+            best
+        })
+    }
+
+    #[test]
+    fn matches_plain_brute_force() {
+        // Exact equality, including tie-breaks: the pruned search must pick
+        // the same first-strictly-better combination every round.
+        for (pools, blocks, window) in [(4, 12, 8), (3, 10, 4), (2, 6, 6), (1, 4, 3), (4, 9, 1)] {
+            let pool = synthetic_pool(pools, blocks, 16);
+            let fast = OptimalAssembly::new(window).assemble(&pool);
+            let slow = assemble_brute_force(&pool, window);
+            assert_eq!(fast, slow, "pools={pools} blocks={blocks} window={window}");
+        }
     }
 
     #[test]

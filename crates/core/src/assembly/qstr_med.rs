@@ -124,51 +124,64 @@ impl QstrMed {
             return None;
         }
         // 1. Reference: the extreme block across all pools.
-        let (ref_pool, ref_addr) = match class {
+        let (ref_pool, ref_sum, ref_addr) = match class {
             SpeedClass::Fast => self
                 .lists
                 .iter()
                 .enumerate()
-                .map(|(p, l)| (p, l.fastest().expect("checked non-empty")))
-                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(p, (_, a))| (p, a))?,
+                .map(|(p, l)| {
+                    let (s, a) = l.fastest().expect("checked non-empty");
+                    (p, s, a)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?,
             SpeedClass::Slow => self
                 .lists
                 .iter()
                 .enumerate()
-                .map(|(p, l)| (p, l.slowest().expect("checked non-empty")))
-                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(p, (_, a))| (p, a))?,
+                .map(|(p, l)| {
+                    let (s, a) = l.slowest().expect("checked non-empty");
+                    (p, s, a)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?,
         };
-        let ref_eigen = self.eigens[&ref_addr].clone();
         // 2. In every other pool, keep the closest of the head/tail
-        //    candidates.
-        let mut members: Vec<(usize, BlockAddr)> = Vec::with_capacity(self.lists.len());
-        members.push((ref_pool, ref_addr));
+        //    candidates. The reference eigen is borrowed from the store and
+        //    candidates are walked by index on the sorted backing slice —
+        //    this path allocates nothing until the winning members are
+        //    collected.
+        let ref_eigen = &self.eigens[&ref_addr];
+        let mut checks = 0u64;
+        let mut members: Vec<(usize, f64, BlockAddr)> = Vec::with_capacity(self.lists.len());
+        members.push((ref_pool, ref_sum, ref_addr));
         for (p, list) in self.lists.iter().enumerate() {
             if p == ref_pool {
                 continue;
             }
-            let candidates = match class {
-                SpeedClass::Fast => list.head(self.candidates).to_vec(),
-                SpeedClass::Slow => list.tail(self.candidates),
-            };
-            let mut best: Option<(u32, BlockAddr)> = None;
-            for &(_, addr) in &candidates {
+            let entries = list.as_slice();
+            let take = self.candidates.min(entries.len());
+            let mut best: Option<(u32, f64, BlockAddr)> = None;
+            for k in 0..take {
+                // Fast requests scan the head fastest-first, slow requests
+                // the tail slowest-first (ties keep the more extreme block).
+                let (sum, addr) = match class {
+                    SpeedClass::Fast => entries[k],
+                    SpeedClass::Slow => entries[entries.len() - 1 - k],
+                };
                 let d = ref_eigen.distance(&self.eigens[&addr]);
-                self.distance_checks += 1;
-                if best.is_none_or(|(bd, _)| d < bd) {
-                    best = Some((d, addr));
+                checks += 1;
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, sum, addr));
                 }
             }
-            let (_, chosen) = best.expect("candidate list non-empty");
-            members.push((p, chosen));
+            let (_, sum, chosen) = best.expect("candidate list non-empty");
+            members.push((p, sum, chosen));
         }
+        self.distance_checks += checks;
         // 3. Claim the members and emit in pool order.
-        members.sort_by_key(|&(p, _)| p);
-        let addrs: Vec<BlockAddr> = members.iter().map(|&(_, a)| a).collect();
-        for &(p, a) in &members {
-            let removed = self.lists[p].remove(a);
+        members.sort_by_key(|&(p, _, _)| p);
+        let addrs: Vec<BlockAddr> = members.iter().map(|&(_, _, a)| a).collect();
+        for &(p, sum, a) in &members {
+            let removed = self.lists[p].remove(sum, a);
             debug_assert!(removed);
             self.eigens.remove(&a);
         }
@@ -184,8 +197,8 @@ impl QstrMed {
     /// Removes and returns the fastest registered block of one pool,
     /// bypassing similarity matching (used for mixed warm-up assemblies).
     pub fn take_fastest(&mut self, pool: usize) -> Option<BlockAddr> {
-        let (_, addr) = self.lists.get(pool)?.fastest()?;
-        self.lists[pool].remove(addr);
+        let (sum, addr) = self.lists.get(pool)?.fastest()?;
+        self.lists[pool].remove(sum, addr);
         self.eigens.remove(&addr);
         Some(addr)
     }
@@ -227,9 +240,7 @@ mod tests {
     use crate::superblock::ExtraLatency;
 
     fn avg_extra_pgm(pool: &BlockPool, sbs: &[Superblock]) -> f64 {
-        sbs.iter()
-            .map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us)
-            .sum::<f64>()
+        sbs.iter().map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us).sum::<f64>()
             / sbs.len() as f64
     }
 

@@ -164,9 +164,7 @@ mod tests {
     use crate::superblock::ExtraLatency;
 
     fn avg_extra_pgm(pool: &BlockPool, sbs: &[Superblock]) -> f64 {
-        sbs.iter()
-            .map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us)
-            .sum::<f64>()
+        sbs.iter().map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us).sum::<f64>()
             / sbs.len() as f64
     }
 

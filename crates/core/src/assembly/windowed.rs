@@ -66,13 +66,11 @@ pub(crate) fn assemble_rounds(
     let rounds = pool.min_pool_len();
     let mut sbs = Vec::with_capacity(rounds);
     for _ in 0..rounds {
-        let windows: Vec<&[usize]> =
-            remaining.iter().map(|r| &r[..r.len().min(window)]).collect();
+        let windows: Vec<&[usize]> = remaining.iter().map(|r| &r[..r.len().min(window)]).collect();
         let picks = pick_best(&windows);
         debug_assert_eq!(picks.len(), pools);
-        let members: Vec<BlockAddr> = (0..pools)
-            .map(|p| pool.pool(p)[remaining[p][picks[p]]].addr())
-            .collect();
+        let members: Vec<BlockAddr> =
+            (0..pools).map(|p| pool.pool(p)[remaining[p][picks[p]]].addr()).collect();
         for (p, &pick) in picks.iter().enumerate() {
             remaining[p].remove(pick);
         }

@@ -79,17 +79,70 @@ impl Characterizer {
     /// Identical numbers to cycling a fresh array to `pe` and then calling
     /// [`Characterizer::characterize_array`] (erase is sampled at `pe`, the
     /// programs land at `pe + 1` — the cycle the erase opened).
+    ///
+    /// The per-block work fans out over all available cores: the latency
+    /// model is a pure function of `(seed, address, pe)`, so profiles are
+    /// computed in parallel chunks and stitched back in geometry order —
+    /// the result is byte-identical to [`Characterizer::snapshot_serial`]
+    /// (asserted by `snapshot_parallel_matches_serial`).
     #[must_use]
     pub fn snapshot(&self, model: &LatencyModel, pe: u32) -> BlockPool {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.snapshot_with_threads(model, pe, threads)
+    }
+
+    /// [`Characterizer::snapshot`] on one thread (the reference path; also
+    /// the fallback for single-core hosts).
+    #[must_use]
+    pub fn snapshot_serial(&self, model: &LatencyModel, pe: u32) -> BlockPool {
+        self.snapshot_with_threads(model, pe, 1)
+    }
+
+    /// [`Characterizer::snapshot`] with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn snapshot_with_threads(
+        &self,
+        model: &LatencyModel,
+        pe: u32,
+        threads: usize,
+    ) -> BlockPool {
+        assert!(threads > 0, "need at least one characterization thread");
         let geo = model.geometry();
         let mut pool = BlockPool::new(self.pool_count(), geo.strings());
-        for addr in geo.blocks() {
+        let profile_of = |addr: flash_model::BlockAddr| {
             let tbers = model.erase_latency_us(addr, pe);
-            let tprog: Vec<f64> = geo
-                .lwls()
-                .map(|lwl| model.program_latency_us(addr.wl(lwl), pe + 1))
+            let tprog: Vec<f64> =
+                geo.lwls().map(|lwl| model.program_latency_us(addr.wl(lwl), pe + 1)).collect();
+            BlockProfile::new(addr, pe, tprog, tbers)
+        };
+        if threads == 1 {
+            for addr in geo.blocks() {
+                pool.push(Self::pool_index(geo, addr), profile_of(addr))
+                    .expect("pool indices derive from the same geometry");
+            }
+            return pool;
+        }
+        let addrs: Vec<flash_model::BlockAddr> = geo.blocks().collect();
+        let chunk = addrs.len().div_ceil(threads).max(1);
+        let chunks: Vec<Vec<BlockProfile>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = addrs
+                .chunks(chunk)
+                .map(|slice| scope.spawn(|| slice.iter().map(|&a| profile_of(a)).collect()))
                 .collect();
-            pool.push(Self::pool_index(geo, addr), BlockProfile::new(addr, pe, tprog, tbers))
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("characterization thread panicked"))
+                .collect()
+        });
+        // Stitch in chunk order: `addrs` is geometry order, so the pushes
+        // happen in exactly the serial sequence.
+        for profile in chunks.into_iter().flatten() {
+            let addr = profile.addr();
+            pool.push(Self::pool_index(geo, addr), profile)
                 .expect("pool indices derive from the same geometry");
         }
         pool
@@ -134,6 +187,27 @@ mod tests {
         let p1k = chr.snapshot(array.latency_model(), 1000);
         let a = p0.iter().next().unwrap().addr();
         assert_ne!(p0.profile(a).unwrap().tprog_us(), p1k.profile(a).unwrap().tprog_us());
+    }
+
+    #[test]
+    fn snapshot_parallel_matches_serial() {
+        let config = FlashConfig::builder()
+            .chips(2)
+            .planes_per_chip(2)
+            .blocks_per_plane(13)
+            .pwl_layers(6)
+            .strings(4)
+            .build();
+        let array = FlashArray::new(config.clone(), 7);
+        let chr = Characterizer::new(&config);
+        for pe in [0, 1500] {
+            let serial = chr.snapshot_serial(array.latency_model(), pe);
+            for threads in [2, 3, 8, 64] {
+                let parallel = chr.snapshot_with_threads(array.latency_model(), pe, threads);
+                assert_eq!(serial, parallel, "threads={threads} pe={pe}");
+            }
+            assert_eq!(serial, chr.snapshot(array.latency_model(), pe));
+        }
     }
 
     #[test]

@@ -91,11 +91,7 @@ impl EigenSequence {
     #[must_use]
     pub fn distance(&self, other: &EigenSequence) -> u32 {
         assert_eq!(self.len, other.len, "eigen sequences must have equal length");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 
     /// Memory footprint of the packed bits, in bytes (Equation 2's

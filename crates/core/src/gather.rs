@@ -135,7 +135,10 @@ impl BlockGatherer {
     /// Returns [`PvError::GatherIncomplete`] if word-lines are missing.
     pub fn finish(self) -> Result<BlockSummary> {
         if !self.is_complete() {
-            return Err(PvError::GatherIncomplete { recorded: self.next_wl, needed: self.wl_total });
+            return Err(PvError::GatherIncomplete {
+                recorded: self.next_wl,
+                needed: self.wl_total,
+            });
         }
         Ok(BlockSummary { addr: self.addr, pgm_sum_us: self.pgm_sum_us, eigen: self.eigen })
     }

@@ -133,9 +133,7 @@ pub fn read_pool<R: BufRead>(r: R) -> Result<BlockPool, PoolIoError> {
         let tbers = next_num("tbers_us")?;
         let tprog: Result<Vec<f64>, _> = fields
             .map(|f| {
-                f.trim()
-                    .parse::<f64>()
-                    .map_err(|e| malformed(format!("bad tprog value: {e}")))
+                f.trim().parse::<f64>().map_err(|e| malformed(format!("bad tprog value: {e}")))
             })
             .collect();
         let tprog = tprog?;

@@ -98,7 +98,7 @@ pub struct BlockSummary {
 /// In the paper's platform a pool is one plane's worth of blocks on one
 /// chip; any partition works as long as members of one superblock must come
 /// from distinct pools.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockPool {
     strings: u16,
     pools: Vec<Vec<BlockProfile>>,

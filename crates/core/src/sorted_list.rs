@@ -32,9 +32,7 @@ impl SortedLatencyList {
 
     /// Inserts a block at its sorted position (ties after existing equals).
     pub fn insert(&mut self, pgm_sum_us: f64, addr: BlockAddr) {
-        let pos = self
-            .entries
-            .partition_point(|&(s, _)| s <= pgm_sum_us);
+        let pos = self.entries.partition_point(|&(s, _)| s <= pgm_sum_us);
         self.entries.insert(pos, (pgm_sum_us, addr));
     }
 
@@ -44,10 +42,10 @@ impl SortedLatencyList {
         &self.entries[..n.min(self.entries.len())]
     }
 
-    /// The `n` slowest blocks, slowest first.
-    #[must_use]
-    pub fn tail(&self, n: usize) -> Vec<(f64, BlockAddr)> {
-        self.entries.iter().rev().take(n).copied().collect()
+    /// The `n` slowest blocks, slowest first — allocation-free, like
+    /// [`SortedLatencyList::head`].
+    pub fn tail(&self, n: usize) -> impl DoubleEndedIterator<Item = &(f64, BlockAddr)> + '_ {
+        self.entries.iter().rev().take(n)
     }
 
     /// The fastest entry, if any.
@@ -62,19 +60,38 @@ impl SortedLatencyList {
         self.entries.last().copied()
     }
 
-    /// Removes a block by address; returns whether it was present.
-    pub fn remove(&mut self, addr: BlockAddr) -> bool {
-        if let Some(pos) = self.entries.iter().position(|&(_, a)| a == addr) {
-            self.entries.remove(pos);
-            true
-        } else {
-            false
+    /// Removes a block by its latency key and address; returns whether it
+    /// was present.
+    ///
+    /// The key lets the lookup binary-search to the run of equal sums
+    /// (`partition_point`) and scan only that run, instead of the former
+    /// full O(n) address scan. `pgm_sum_us` must be the exact value the
+    /// block was inserted with (callers track it in their summaries).
+    pub fn remove(&mut self, pgm_sum_us: f64, addr: BlockAddr) -> bool {
+        let start = self.entries.partition_point(|&(s, _)| s < pgm_sum_us);
+        for pos in start..self.entries.len() {
+            let (s, a) = self.entries[pos];
+            if s != pgm_sum_us {
+                break;
+            }
+            if a == addr {
+                self.entries.remove(pos);
+                return true;
+            }
         }
+        false
     }
 
     /// Iterator over `(pgm_sum, addr)` ascending.
     pub fn iter(&self) -> impl Iterator<Item = &(f64, BlockAddr)> {
         self.entries.iter()
+    }
+
+    /// The full sorted backing slice, fastest first (for index-based
+    /// candidate walks that must not allocate).
+    #[must_use]
+    pub fn as_slice(&self) -> &[(f64, BlockAddr)] {
+        &self.entries
     }
 
     /// Whether the internal order invariant holds (for tests/debugging).
@@ -112,7 +129,7 @@ mod tests {
         }
         let head: Vec<u32> = l.head(3).iter().map(|&(_, a)| a.block.0).collect();
         assert_eq!(head, vec![0, 1, 2]);
-        let tail: Vec<u32> = l.tail(2).iter().map(|&(_, a)| a.block.0).collect();
+        let tail: Vec<u32> = l.tail(2).map(|&(_, a)| a.block.0).collect();
         assert_eq!(tail, vec![5, 4]);
     }
 
@@ -121,18 +138,38 @@ mod tests {
         let mut l = SortedLatencyList::new();
         l.insert(1.0, addr(0));
         assert_eq!(l.head(10).len(), 1);
-        assert_eq!(l.tail(10).len(), 1);
+        assert_eq!(l.tail(10).count(), 1);
     }
 
     #[test]
-    fn remove_by_address() {
+    fn remove_by_key_and_address() {
         let mut l = SortedLatencyList::new();
         l.insert(1.0, addr(0));
         l.insert(2.0, addr(1));
-        assert!(l.remove(addr(0)));
-        assert!(!l.remove(addr(0)));
+        assert!(l.remove(1.0, addr(0)));
+        assert!(!l.remove(1.0, addr(0)));
         assert_eq!(l.len(), 1);
         assert_eq!(l.fastest().unwrap().1, addr(1));
+    }
+
+    #[test]
+    fn remove_scans_only_the_equal_key_run() {
+        let mut l = SortedLatencyList::new();
+        // Three blocks share one key; removal must find each by address.
+        for b in 0..3 {
+            l.insert(5.0, addr(b));
+        }
+        l.insert(1.0, addr(10));
+        l.insert(9.0, addr(11));
+        assert!(l.remove(5.0, addr(1)));
+        assert!(!l.remove(5.0, addr(1)));
+        assert!(l.remove(5.0, addr(0)));
+        assert!(l.remove(5.0, addr(2)));
+        // A wrong key must not remove an existing address.
+        assert!(!l.remove(2.0, addr(10)));
+        assert!(l.remove(1.0, addr(10)));
+        assert_eq!(l.len(), 1);
+        assert!(l.is_sorted());
     }
 
     #[test]

@@ -214,8 +214,10 @@ mod tests {
     #[test]
     fn of_superblock_uses_pool_profiles() {
         let mut pool = BlockPool::new(2, 4);
-        pool.push(0, BlockProfile::new(addr(0, 0), 0, vec![10.0, 20.0, 10.0, 10.0], 3000.0)).unwrap();
-        pool.push(1, BlockProfile::new(addr(1, 0), 0, vec![14.0, 21.0, 10.0, 12.0], 3010.0)).unwrap();
+        pool.push(0, BlockProfile::new(addr(0, 0), 0, vec![10.0, 20.0, 10.0, 10.0], 3000.0))
+            .unwrap();
+        pool.push(1, BlockProfile::new(addr(1, 0), 0, vec![14.0, 21.0, 10.0, 12.0], 3010.0))
+            .unwrap();
         let sb = Superblock::new(vec![addr(0, 0), addr(1, 0)]);
         let e = ExtraLatency::of_superblock(&pool, &sb).unwrap();
         assert_eq!(e.program_us, 4.0 + 1.0 + 0.0 + 2.0);

@@ -40,7 +40,14 @@ impl BerModel {
     /// Raw bit error rate of one layer of a block after `pe` cycles and
     /// `retention_hours` of data retention.
     #[must_use]
-    pub fn rber(&self, geo: &Geometry, addr: BlockAddr, layer: PwlLayer, pe: u32, retention_hours: f64) -> f64 {
+    pub fn rber(
+        &self,
+        geo: &Geometry,
+        addr: BlockAddr,
+        layer: PwlLayer,
+        pe: u32,
+        retention_hours: f64,
+    ) -> f64 {
         let layers = f64::from(geo.pwl_layers());
         let x = if layers > 1.0 { 2.0 * f64::from(layer.0) / (layers - 1.0) - 1.0 } else { 0.0 };
         let layer_mult = 1.0 + self.layer_edge_factor * x * x;
@@ -61,7 +68,15 @@ impl BerModel {
 
     /// Expected number of error bits when reading a page of `page_bytes`.
     #[must_use]
-    pub fn expected_error_bits(&self, geo: &Geometry, addr: BlockAddr, layer: PwlLayer, pe: u32, retention_hours: f64, page_bytes: u32) -> f64 {
+    pub fn expected_error_bits(
+        &self,
+        geo: &Geometry,
+        addr: BlockAddr,
+        layer: PwlLayer,
+        pe: u32,
+        retention_hours: f64,
+        page_bytes: u32,
+    ) -> f64 {
         self.rber(geo, addr, layer, pe, retention_hours) * f64::from(page_bytes) * 8.0
     }
 }

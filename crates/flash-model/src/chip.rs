@@ -33,7 +33,12 @@ pub(crate) struct BlockState {
 
 impl Default for BlockState {
     fn default() -> Self {
-        BlockState { phase: BlockPhase::Fresh, next_lwl: LwlId(0), wear: WearState::new(), pages: None }
+        BlockState {
+            phase: BlockPhase::Fresh,
+            next_lwl: LwlId(0),
+            wear: WearState::new(),
+            pages: None,
+        }
     }
 }
 
@@ -69,7 +74,11 @@ impl BlockState {
         let base = (lwl.0 * per_wl) as usize;
         pages[base..base + per_wl as usize].copy_from_slice(data);
         self.next_lwl = LwlId(lwl.0 + 1);
-        self.phase = if self.next_lwl.0 == geo.lwls_per_block() { BlockPhase::Full } else { BlockPhase::Open };
+        self.phase = if self.next_lwl.0 == geo.lwls_per_block() {
+            BlockPhase::Full
+        } else {
+            BlockPhase::Open
+        };
         Ok(())
     }
 
@@ -121,7 +130,10 @@ mod tests {
         let data = vec![1; g.pages_per_lwl() as usize];
         b.program_wl(&g, addr(), LwlId(0), &data).unwrap();
         let err = b.program_wl(&g, addr(), LwlId(2), &data).unwrap_err();
-        assert!(matches!(err, FlashError::ProgramOutOfOrder { expected: LwlId(1), got: LwlId(2), .. }));
+        assert!(matches!(
+            err,
+            FlashError::ProgramOutOfOrder { expected: LwlId(1), got: LwlId(2), .. }
+        ));
     }
 
     #[test]

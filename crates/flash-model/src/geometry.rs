@@ -191,8 +191,7 @@ impl Geometry {
     #[must_use]
     pub fn block_index(&self, addr: BlockAddr) -> usize {
         assert!(self.contains_block(addr), "block address {addr} out of range");
-        (usize::from(addr.chip.0) * usize::from(self.planes_per_chip)
-            + usize::from(addr.plane.0))
+        (usize::from(addr.chip.0) * usize::from(self.planes_per_chip) + usize::from(addr.plane.0))
             * self.blocks_per_plane as usize
             + addr.block.0 as usize
     }

@@ -101,11 +101,7 @@ impl LatencyModel {
     pub fn layer_base_us(&self, addr: BlockAddr, layer: PwlLayer) -> f64 {
         let v = &self.var;
         let layers = f64::from(self.geo.pwl_layers());
-        let x = if layers > 1.0 {
-            2.0 * f64::from(layer.0) / (layers - 1.0) - 1.0
-        } else {
-            0.0
-        };
+        let x = if layers > 1.0 { 2.0 * f64::from(layer.0) / (layers - 1.0) - 1.0 } else { 0.0 };
         let curve = v.layer_curve_amp_us * x * x - v.layer_curve_amp_us / 3.0;
         let group = u64::from(layer.0 / self.var.layer_group_size);
         let group_off = v.layer_group_sigma_us
@@ -149,8 +145,10 @@ impl LatencyModel {
                 .sampler
                 .bernoulli(v.outlier_prob, &[TAG_BLOCK_OUTLIER, tags[0], tags[1], tags[2]])
         {
-            self.sampler
-                .exponential(v.outlier_extra_us, &[TAG_BLOCK_OUTLIER_MAG, tags[0], tags[1], tags[2]])
+            self.sampler.exponential(
+                v.outlier_extra_us,
+                &[TAG_BLOCK_OUTLIER_MAG, tags[0], tags[1], tags[2]],
+            )
         } else {
             0.0
         }

@@ -72,7 +72,10 @@ pub use chip::BlockPhase;
 pub use config::{FlashConfig, FlashConfigBuilder};
 pub use error::FlashError;
 pub use geometry::Geometry;
-pub use ids::{BlockAddr, BlockId, CellType, ChipId, LwlId, PageAddr, PageType, PlaneId, PwlLayer, StringId, WlAddr};
+pub use ids::{
+    BlockAddr, BlockId, CellType, ChipId, LwlId, PageAddr, PageType, PlaneId, PwlLayer, StringId,
+    WlAddr,
+};
 pub use latency::LatencyModel;
 pub use retry::RetryModel;
 pub use sampler::Sampler;

@@ -27,8 +27,7 @@ impl ActiveSuperblock {
         layers: u16,
         pages_per_lwl: u32,
     ) -> Self {
-        let gatherers =
-            members.iter().map(|&a| BlockGatherer::new(a, strings, layers)).collect();
+        let gatherers = members.iter().map(|&a| BlockGatherer::new(a, strings, layers)).collect();
         ActiveSuperblock {
             members,
             next_lwl: 0,
@@ -153,12 +152,8 @@ mod tests {
     use flash_model::{BlockId, ChipId, FlashConfig, PlaneId};
 
     fn setup() -> (FlashArray, ActiveSuperblock) {
-        let config = FlashConfig::builder()
-            .chips(4)
-            .blocks_per_plane(4)
-            .pwl_layers(2)
-            .strings(4)
-            .build();
+        let config =
+            FlashConfig::builder().chips(4).blocks_per_plane(4).pwl_layers(2).strings(4).build();
         let mut array = FlashArray::new(config, 1);
         let members: Vec<BlockAddr> =
             (0..4).map(|c| BlockAddr::new(ChipId(c), PlaneId(0), BlockId(0))).collect();

@@ -91,7 +91,10 @@ impl FtlConfig {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.05..0.9).contains(&self.overprovision) {
-            return Err(format!("overprovision must be in [0.05, 0.9), got {}", self.overprovision));
+            return Err(format!(
+                "overprovision must be in [0.05, 0.9), got {}",
+                self.overprovision
+            ));
         }
         if self.gc_low_watermark == 0 {
             return Err("gc_low_watermark must be at least 1".to_string());
@@ -148,22 +151,15 @@ mod tests {
 
     #[test]
     fn bad_watermarks_rejected() {
-        let cfg = FtlConfig {
-            gc_low_watermark: 3,
-            gc_high_watermark: 3,
-            ..FtlConfig::small_test()
-        };
+        let cfg =
+            FtlConfig { gc_low_watermark: 3, gc_high_watermark: 3, ..FtlConfig::small_test() };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn too_few_blocks_rejected() {
         let mut cfg = FtlConfig::small_test();
-        cfg.flash = FlashConfig::builder()
-            .chips(2)
-            .blocks_per_plane(3)
-            .pwl_layers(4)
-            .build();
+        cfg.flash = FlashConfig::builder().chips(2).blocks_per_plane(3).pwl_layers(4).build();
         assert!(cfg.validate().is_err());
     }
 }

@@ -366,12 +366,8 @@ impl Ssd {
             SpeedClass::Slow => self.stats.superblocks_assembled.1 += 1,
         }
         let geo = self.array.geometry();
-        let active = ActiveSuperblock::new(
-            members,
-            geo.strings(),
-            geo.pwl_layers(),
-            geo.pages_per_lwl(),
-        );
+        let active =
+            ActiveSuperblock::new(members, geo.strings(), geo.pwl_layers(), geo.pages_per_lwl());
         *self.slot(purpose) = Some(active);
         Ok(outcome.total_us)
     }
@@ -562,11 +558,8 @@ mod tests {
             let mut dev = ssd(scheme);
             let info = dev.geometry_info();
             // Write 3x the logical space over half the LPNs.
-            let reqs = Workload::random_write(0.5).generate(
-                &info,
-                (info.logical_pages * 3) as usize,
-                7,
-            );
+            let reqs =
+                Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 7);
             dev.run(&reqs).unwrap();
             assert!(dev.stats().gc_runs > 0, "{scheme:?} should have collected garbage");
             assert!(dev.stats().waf() > 1.0);
@@ -592,11 +585,8 @@ mod tests {
         let run = |scheme| {
             let mut dev = ssd(scheme);
             let info = dev.geometry_info();
-            let reqs = Workload::random_write(0.5).generate(
-                &info,
-                (info.logical_pages * 3) as usize,
-                7,
-            );
+            let reqs =
+                Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 7);
             dev.run(&reqs).unwrap();
             dev.stats().extra_program_per_op_us()
         };
@@ -613,9 +603,8 @@ mod tests {
         }
         dev.flush().unwrap();
         // The first four consecutive pages must sit on four distinct chips.
-        let chips: std::collections::HashSet<u16> = (0..4)
-            .map(|lpn| dev.mapping.lookup(lpn).unwrap().wl.block.chip.0)
-            .collect();
+        let chips: std::collections::HashSet<u16> =
+            (0..4).map(|lpn| dev.mapping.lookup(lpn).unwrap().wl.block.chip.0).collect();
         assert_eq!(chips.len(), 4, "page-major striping spreads chips");
     }
 
@@ -644,7 +633,8 @@ mod tests {
     fn wear_spread_is_tracked() {
         let mut dev = ssd(OrganizationScheme::Random);
         let info = dev.geometry_info();
-        let reqs = Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 7);
+        let reqs =
+            Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 7);
         dev.run(&reqs).unwrap();
         let (min, max) = dev.wear_spread();
         assert!(max >= 1, "some block must have been erased");
@@ -657,7 +647,8 @@ mod tests {
         config.gc_policy = crate::gc::GcPolicy::CostBenefit;
         let mut dev = Ssd::new(config, 3).unwrap();
         let info = dev.geometry_info();
-        let reqs = Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 9);
+        let reqs =
+            Workload::random_write(0.5).generate(&info, (info.logical_pages * 3) as usize, 9);
         dev.run(&reqs).unwrap();
         assert!(dev.stats().gc_runs > 0);
     }
@@ -665,8 +656,11 @@ mod tests {
     #[test]
     fn timed_run_adds_queueing_delay_under_load() {
         use crate::workload::poisson_arrivals;
-        let reqs: Vec<crate::IoRequest> = Workload::random_write(0.5)
-            .generate(&ssd(OrganizationScheme::Random).geometry_info(), 3000, 5);
+        let reqs: Vec<crate::IoRequest> = Workload::random_write(0.5).generate(
+            &ssd(OrganizationScheme::Random).geometry_info(),
+            3000,
+            5,
+        );
         // Saturating load: arrivals far faster than service.
         let mut busy_dev = ssd(OrganizationScheme::Random);
         busy_dev.run_timed(&poisson_arrivals(&reqs, 1.0, 1)).unwrap();

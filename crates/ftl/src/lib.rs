@@ -48,9 +48,9 @@ mod wear_level;
 mod workload;
 
 pub use config::{FtlConfig, OrganizationScheme, PlacementPolicy};
-pub use gc::GcPolicy;
 pub use device::{GeometryInfo, Ssd};
 pub use error::FtlError;
+pub use gc::GcPolicy;
 pub use manager::BlockManager;
 pub use mapping::Mapping;
 pub use request::{IoOp, IoRequest};

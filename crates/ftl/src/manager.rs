@@ -253,12 +253,8 @@ mod tests {
 
     #[test]
     fn qstr_scheme_warms_up_blindly_then_uses_summaries() {
-        let config = FlashConfig::builder()
-            .chips(4)
-            .blocks_per_plane(8)
-            .pwl_layers(4)
-            .strings(4)
-            .build();
+        let config =
+            FlashConfig::builder().chips(4).blocks_per_plane(8).pwl_layers(4).strings(4).build();
         let mut m =
             BlockManager::new(&config.geometry, OrganizationScheme::QstrMed { candidates: 4 }, 0);
         // Cold: falls back to blind grouping.
@@ -284,12 +280,8 @@ mod tests {
 
     #[test]
     fn learned_summary_survives_free_claim_cycle() {
-        let config = FlashConfig::builder()
-            .chips(2)
-            .blocks_per_plane(4)
-            .pwl_layers(4)
-            .strings(4)
-            .build();
+        let config =
+            FlashConfig::builder().chips(2).blocks_per_plane(4).pwl_layers(4).strings(4).build();
         let mut m =
             BlockManager::new(&config.geometry, OrganizationScheme::QstrMed { candidates: 2 }, 0);
         let chr = Characterizer::new(&config);

@@ -96,12 +96,8 @@ impl Mapping {
     /// Valid logical pages currently stored in a block, with locations.
     #[must_use]
     pub fn valid_in_block(&self, block: BlockAddr) -> Vec<(u64, PageAddr)> {
-        let mut v: Vec<(u64, PageAddr)> = self
-            .p2l
-            .iter()
-            .filter(|(p, _)| p.wl.block == block)
-            .map(|(p, &l)| (l, *p))
-            .collect();
+        let mut v: Vec<(u64, PageAddr)> =
+            self.p2l.iter().filter(|(p, _)| p.wl.block == block).map(|(p, &l)| (l, *p)).collect();
         v.sort_by_key(|&(_, p)| (p.wl.lwl, p.page.index()));
         v
     }

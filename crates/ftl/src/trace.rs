@@ -85,7 +85,10 @@ pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<IoRequest>, TraceError> 
                 reason: "missing LPN column".to_string(),
             })?
             .parse()
-            .map_err(|e| TraceError::Malformed { line: line_no, reason: format!("bad LPN: {e}") })?;
+            .map_err(|e| TraceError::Malformed {
+                line: line_no,
+                reason: format!("bad LPN: {e}"),
+            })?;
         let len: u64 = match parts.next() {
             None | Some("") => 1,
             Some(n) => n.parse().map_err(|e| TraceError::Malformed {
@@ -171,7 +174,8 @@ mod tests {
         use crate::{FtlConfig, Ssd};
         let mut dev = Ssd::new(FtlConfig::small_test(), 1).unwrap();
         let trace = b"W,3\nW,4\nR,3\nT,4\n" as &[u8];
-        let reqs = fold_to_capacity(&parse_trace(trace).unwrap(), dev.geometry_info().logical_pages);
+        let reqs =
+            fold_to_capacity(&parse_trace(trace).unwrap(), dev.geometry_info().logical_pages);
         dev.run(&reqs).unwrap();
         assert_eq!(dev.stats().host_writes, 2);
         assert_eq!(dev.stats().host_reads, 1);

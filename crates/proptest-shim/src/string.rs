@@ -1,0 +1,102 @@
+//! A tiny regex-pattern string generator.
+//!
+//! Supports exactly the shape the workspace's tests use: one character
+//! class with literal characters, `a-b` ranges and `\n`/`\t`/`\\` escapes,
+//! followed by a `{min,max}` repetition — e.g. `"[ -~\n]{0,256}"`. Any
+//! other pattern is rejected loudly rather than mis-generated.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics if the pattern is not of the supported `[class]{min,max}` form.
+#[must_use]
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (alphabet, min, max) = parse(pattern)
+        .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?}: the offline proptest shim only handles \"[class]{{min,max}}\""));
+    let len = if min >= max { min } else { rng.random_range(min..max + 1) };
+    (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+}
+
+fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rep) = rest.split_once(']')?;
+    let rep = rep.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = rep.split_once(',')?;
+    let (min, max) = (min.trim().parse().ok()?, max.trim().parse().ok()?);
+
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        let lo = match c {
+            '\\' => unescape(chars.next()?)?,
+            c => c,
+        };
+        if chars.peek() == Some(&'-') && {
+            let mut look = chars.clone();
+            look.next();
+            look.peek().is_some()
+        } {
+            chars.next();
+            let hi = match chars.next()? {
+                '\\' => unescape(chars.next()?)?,
+                c => c,
+            };
+            for x in lo as u32..=hi as u32 {
+                alphabet.push(char::from_u32(x)?);
+            }
+        } else {
+            alphabet.push(lo);
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+fn unescape(c: char) -> Option<char> {
+    match c {
+        'n' => Some('\n'),
+        't' => Some('\t'),
+        'r' => Some('\r'),
+        '\\' => Some('\\'),
+        '-' => Some('-'),
+        ']' => Some(']'),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_class_generates_in_bounds() {
+        let mut rng = TestRng::for_test("printable_class_generates_in_bounds");
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ -~\n]{0,256}", &mut rng);
+            assert!(s.len() <= 256);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn fixed_width_class() {
+        let mut rng = TestRng::for_test("fixed_width_class");
+        let s = generate_from_pattern("[ab]{4,4}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string pattern")]
+    fn unsupported_pattern_rejected() {
+        let mut rng = TestRng::for_test("unsupported_pattern_rejected");
+        let _ = generate_from_pattern("abc+", &mut rng);
+    }
+}

@@ -12,11 +12,7 @@
 use superpage::flash_model::{FlashArray, FlashConfig};
 
 fn main() {
-    let config = FlashConfig::builder()
-        .chips(2)
-        .planes_per_chip(4)
-        .blocks_per_plane(400)
-        .build();
+    let config = FlashConfig::builder().chips(2).planes_per_chip(4).blocks_per_plane(400).build();
     let array = FlashArray::new(config.clone(), 1);
     let model = array.latency_model();
 

@@ -120,10 +120,7 @@ fn ssd_end_to_end_prefers_qstr_med() {
     };
     let (rnd_pgm, _rnd_ers) = run(OrganizationScheme::Random);
     let (qstr_pgm, _qstr_ers) = run(OrganizationScheme::QstrMed { candidates: 4 });
-    assert!(
-        qstr_pgm < rnd_pgm,
-        "end-to-end extra PGM per op: QSTR {qstr_pgm} vs random {rnd_pgm}"
-    );
+    assert!(qstr_pgm < rnd_pgm, "end-to-end extra PGM per op: QSTR {qstr_pgm} vs random {rnd_pgm}");
 }
 
 #[test]

@@ -17,9 +17,7 @@ fn pool(seed: u64, blocks: u32) -> BlockPool {
 }
 
 fn avg_pgm(pool: &BlockPool, sbs: &[Superblock]) -> f64 {
-    sbs.iter()
-        .map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us)
-        .sum::<f64>()
+    sbs.iter().map(|sb| ExtraLatency::of_superblock(pool, sb).unwrap().program_us).sum::<f64>()
         / sbs.len() as f64
 }
 
