@@ -24,6 +24,7 @@ struct Cli {
     commands: Vec<String>,
     params: ExperimentParams,
     out: PathBuf,
+    quick: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -66,8 +67,9 @@ fn parse_cli() -> Cli {
     if commands.is_empty() {
         commands.push("all".to_string());
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all",
+        "resilience",
         "table1",
         "table2",
         "table5",
@@ -95,7 +97,7 @@ fn parse_cli() -> Cli {
         ..ExperimentParams::default()
     };
     params.config.geometry = Geometry::new(4, 1, blocks, 96, 4, CellType::Tlc);
-    Cli { commands, params, out }
+    Cli { commands, params, out, quick }
 }
 
 fn comparison_table(title: &str, r: &exp::ComparisonResult, out: &Path, file: &str) {
@@ -352,6 +354,46 @@ fn main() {
             }
             println!("== Read-retry sensitivity (wear + retention) ==\n{}", t.render());
             t.write_csv(cli.out.join("retry.csv")).expect("write csv");
+        }
+        if run_all || cmd == "resilience" {
+            eprintln!("[{:?}] running resilience ...", t0.elapsed());
+            // Small enough that the write stream cycles every block several
+            // times — wear is what makes the fault axis bite.
+            let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
+            let (writes, rates): (usize, &[f64]) = if cli.quick {
+                (20_000, &[0.0, 0.01, 0.02])
+            } else {
+                (60_000, &[0.0, 0.002, 0.005, 0.01, 0.02])
+            };
+            let rows = exp::resilience_experiment(&geo, writes, 7, rates);
+            let mut t = TextTable::new([
+                "fault rate",
+                "Scheme",
+                "write mean",
+                "write p99",
+                "WAF",
+                "extra PGM/op",
+                "retired",
+                "remapped",
+                "refreshed",
+                "degraded SBs",
+            ]);
+            for r in &rows {
+                t.row([
+                    format!("{:.3}", r.fault_rate),
+                    r.scheme.clone(),
+                    us(r.write_mean_us),
+                    us(r.write_p99_us),
+                    format!("{:.3}", r.waf),
+                    us(r.extra_pgm_per_op_us),
+                    r.retired_blocks.to_string(),
+                    r.remapped_writes.to_string(),
+                    r.refresh_relocations.to_string(),
+                    r.degraded_superblocks.to_string(),
+                ]);
+            }
+            println!("== Resilience: fault-rate sweep (§VI-C) ==\n{}", t.render());
+            t.write_csv(cli.out.join("resilience.csv")).expect("write csv");
         }
         if run_all || cmd == "ssd" {
             eprintln!("[{:?}] running ssd ...", t0.elapsed());

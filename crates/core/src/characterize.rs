@@ -55,23 +55,59 @@ impl Characterizer {
     /// Every block endures exactly one P/E cycle. The page payload is a
     /// characterization pattern (zeros), as on the real testbed.
     ///
+    /// Blocks that die mid-characterization (media failure on faulty
+    /// arrays) are skipped; use
+    /// [`Characterizer::characterize_array_tolerant`] to learn which.
+    ///
     /// # Errors
     ///
-    /// Propagates any flash operation error.
+    /// Propagates any non-media flash operation error.
     pub fn characterize_array(&self, array: &mut FlashArray) -> Result<BlockPool> {
+        self.characterize_array_tolerant(array).map(|(pool, _)| pool)
+    }
+
+    /// [`Characterizer::characterize_array`], also reporting the blocks
+    /// that failed a program or erase during the pass (a real testbed marks
+    /// these bad and excludes them from the pools; an FTL should retire
+    /// them). On healthy media the dead list is empty and the pool is
+    /// identical to before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any non-media flash operation error (media failures are
+    /// recorded, not raised).
+    pub fn characterize_array_tolerant(
+        &self,
+        array: &mut FlashArray,
+    ) -> Result<(BlockPool, Vec<flash_model::BlockAddr>)> {
         let geo = array.geometry().clone();
         let mut pool = BlockPool::new(self.pool_count(), geo.strings());
+        let mut dead = Vec::new();
         let payload = vec![0u64; geo.pages_per_lwl() as usize];
-        for addr in geo.blocks() {
+        'blocks: for addr in geo.blocks() {
             let pe = array.pe_cycles(addr)?;
-            let tbers = array.erase_block(addr)?;
+            let tbers = match array.erase_block(addr) {
+                Ok(t) => t,
+                Err(e) if e.is_media_failure() => {
+                    dead.push(addr);
+                    continue 'blocks;
+                }
+                Err(e) => return Err(e.into()),
+            };
             let mut tprog = Vec::with_capacity(geo.lwls_per_block() as usize);
             for lwl in geo.lwls() {
-                tprog.push(array.program_wl(addr.wl(lwl), &payload)?);
+                match array.program_wl(addr.wl(lwl), &payload) {
+                    Ok(t) => tprog.push(t),
+                    Err(e) if e.is_media_failure() => {
+                        dead.push(addr);
+                        continue 'blocks;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             pool.push(Self::pool_index(&geo, addr), BlockProfile::new(addr, pe, tprog, tbers))?;
         }
-        Ok(pool)
+        Ok((pool, dead))
     }
 
     /// Queries the latency model directly at P/E cycle `pe` for every block.
@@ -208,6 +244,33 @@ mod tests {
             }
             assert_eq!(serial, chr.snapshot(array.latency_model(), pe));
         }
+    }
+
+    #[test]
+    fn tolerant_characterization_skips_dying_blocks() {
+        use flash_model::FaultConfig;
+        let config = FlashConfig::small_test();
+        // Aggressive rates so the single pass certainly loses blocks.
+        let fault =
+            FaultConfig { program_fail_prob: 0.01, erase_fail_prob: 0.1, ..FaultConfig::default() };
+        let mut array = FlashArray::with_faults(config.clone(), 17, fault);
+        let chr = Characterizer::new(&config);
+        let (pool, dead) = chr.characterize_array_tolerant(&mut array).unwrap();
+        assert!(!dead.is_empty(), "10% erase failures must kill some block");
+        assert_eq!(pool.len() as u64 + dead.len() as u64, config.geometry.total_blocks());
+        for &addr in &dead {
+            assert!(pool.profile(addr).is_none(), "dead block {addr} must not be pooled");
+        }
+    }
+
+    #[test]
+    fn tolerant_pass_on_healthy_media_reports_nothing_dead() {
+        let config = FlashConfig::small_test();
+        let mut array = FlashArray::new(config.clone(), 5);
+        let chr = Characterizer::new(&config);
+        let (pool, dead) = chr.characterize_array_tolerant(&mut array).unwrap();
+        assert!(dead.is_empty());
+        assert_eq!(pool.len() as u64, config.geometry.total_blocks());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::ber::BerModel;
 use crate::chip::{BlockPhase, BlockState};
 use crate::config::FlashConfig;
 use crate::error::FlashError;
+use crate::fault::{FaultConfig, FaultInjector};
 use crate::geometry::Geometry;
 use crate::ids::{BlockAddr, PageAddr, WlAddr};
 use crate::latency::LatencyModel;
@@ -26,7 +27,15 @@ pub struct MpOutcome {
 }
 
 impl MpOutcome {
-    fn from_members(member_us: Vec<f64>) -> Self {
+    /// Builds an outcome from individual member latencies. Exposed so an
+    /// FTL issuing per-member operations (e.g. around a failed member) can
+    /// report the identical command-level numbers. An empty slice yields an
+    /// all-zero outcome.
+    #[must_use]
+    pub fn from_members(member_us: Vec<f64>) -> Self {
+        if member_us.is_empty() {
+            return MpOutcome { member_us, total_us: 0.0, extra_us: 0.0 };
+        }
         let max = member_us.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = member_us.iter().copied().fold(f64::INFINITY, f64::min);
         MpOutcome { member_us, total_us: max, extra_us: max - min }
@@ -57,16 +66,36 @@ impl MpOutcome {
 pub struct FlashArray {
     model: LatencyModel,
     ber: BerModel,
+    fault: FaultInjector,
     blocks: Vec<BlockState>,
 }
 
 impl FlashArray {
-    /// Creates an array in the `Fresh` state for every block.
+    /// Creates an array in the `Fresh` state for every block, with fault
+    /// injection disabled (perfect media).
     #[must_use]
     pub fn new(config: FlashConfig, seed: u64) -> Self {
+        Self::with_faults(config, seed, FaultConfig::default())
+    }
+
+    /// Creates an array whose media faults follow `fault` (seeded from the
+    /// same master seed, decorrelated from latency and BER draws).
+    #[must_use]
+    pub fn with_faults(config: FlashConfig, seed: u64, fault: FaultConfig) -> Self {
         let model = LatencyModel::new(config.geometry.clone(), config.variation, seed);
         let blocks = vec![BlockState::default(); config.geometry.total_blocks() as usize];
-        FlashArray { model, ber: BerModel::new(seed), blocks }
+        FlashArray {
+            model,
+            ber: BerModel::new(seed),
+            fault: FaultInjector::new(fault, seed),
+            blocks,
+        }
+    }
+
+    /// The fault oracle this array draws media failures from.
+    #[must_use]
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
     }
 
     /// The array geometry.
@@ -137,10 +166,19 @@ impl FlashArray {
     /// # Errors
     ///
     /// Returns [`FlashError::AddressOutOfRange`] for addresses outside the
-    /// geometry.
+    /// geometry, and [`FlashError::EraseFailed`] when the block is already
+    /// failed or the fault injector fails this erase (the block then moves
+    /// to [`BlockPhase::Failed`] and must be retired).
     pub fn erase_block(&mut self, addr: BlockAddr) -> Result<f64> {
         let idx = self.check(addr)?;
         let pe = self.blocks[idx].wear.pe_cycles();
+        if self.blocks[idx].phase == BlockPhase::Failed {
+            return Err(FlashError::EraseFailed { addr });
+        }
+        if self.fault.erase_fails(addr, pe) {
+            self.blocks[idx].mark_failed();
+            return Err(FlashError::EraseFailed { addr });
+        }
         self.blocks[idx].erase();
         Ok(self.model.erase_latency_us(addr, pe))
     }
@@ -152,12 +190,20 @@ impl FlashArray {
     ///
     /// Returns an error if the address is out of range, the block is not
     /// erased/open, the word-line is out of order, or the data length does
-    /// not match the geometry's pages-per-word-line.
+    /// not match the geometry's pages-per-word-line. Returns
+    /// [`FlashError::ProgramFailed`] when the fault injector fails a legal
+    /// program (the block then moves to [`BlockPhase::Failed`]: earlier
+    /// word-lines stay readable but the block must be retired).
     pub fn program_wl(&mut self, wl: WlAddr, data: &[u64]) -> Result<f64> {
         let idx = self.check_wl(wl)?;
         let geo = self.geometry().clone();
-        self.blocks[idx].program_wl(&geo, wl.block, wl.lwl, data)?;
         let pe = self.blocks[idx].wear.pe_cycles();
+        if self.fault.program_fails(wl, pe) {
+            self.blocks[idx].check_program(&geo, wl.block, wl.lwl, data)?;
+            self.blocks[idx].mark_failed();
+            return Err(FlashError::ProgramFailed { wl });
+        }
+        self.blocks[idx].program_wl(&geo, wl.block, wl.lwl, data)?;
         Ok(self.model.program_latency_us(wl, pe))
     }
 
@@ -251,20 +297,31 @@ impl FlashArray {
         retry: &crate::retry::RetryModel,
     ) -> Result<(u64, f64, u32)> {
         let (data, base_us) = self.read_page(page)?;
+        let error_bits = self.expected_error_bits(page, retention_hours);
+        let retries = retry.retries(error_bits);
+        Ok((data, retry.read_latency_us(base_us, error_bits), retries))
+    }
+
+    /// Expected error bits when reading `page` after `retention_hours` of
+    /// data retention, including any injected weak-block elevation (16 KB
+    /// user data per page, the paper's platform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page address is outside the geometry.
+    #[must_use]
+    pub fn expected_error_bits(&self, page: PageAddr, retention_hours: f64) -> f64 {
         let idx = self.geometry().block_index(page.wl.block);
         let pe = self.blocks[idx].wear.pe_cycles();
         let layer = self.geometry().layer_of(page.wl.lwl);
-        // 16 KB user data per page, the paper's platform.
-        let error_bits = self.ber.expected_error_bits(
+        self.ber.expected_error_bits(
             self.geometry(),
             page.wl.block,
             layer,
             pe,
             retention_hours,
             16 * 1024,
-        );
-        let retries = retry.retries(error_bits);
-        Ok((data, retry.read_latency_us(base_us, error_bits), retries))
+        ) * self.fault.ber_multiplier(page.wl.block)
     }
 
     /// Multi-plane / multi-chip page read.
@@ -450,5 +507,101 @@ mod tests {
         a.erase_block(b).unwrap();
         a.erase_block(b).unwrap();
         assert_eq!(a.pe_cycles(b).unwrap(), 2);
+    }
+
+    fn faulty_array(fault: crate::FaultConfig) -> FlashArray {
+        FlashArray::with_faults(FlashConfig::small_test(), 17, fault)
+    }
+
+    /// High per-operation rates so the fixed-seed block scans below always
+    /// find a victim (sweep-style `with_rate` spreads program risk across a
+    /// whole block fill, far too thin for a 1-plane scan).
+    fn harsh_faults() -> crate::FaultConfig {
+        crate::FaultConfig {
+            program_fail_prob: 0.3,
+            erase_fail_prob: 0.2,
+            weak_block_prob: 0.8,
+            ..crate::FaultConfig::with_rate(0.1)
+        }
+    }
+
+    #[test]
+    fn disabled_faults_leave_latencies_bit_identical() {
+        let mut plain = array();
+        let mut gated = faulty_array(crate::FaultConfig::default());
+        let b = blk(1, 4);
+        assert_eq!(
+            plain.erase_block(b).unwrap().to_bits(),
+            gated.erase_block(b).unwrap().to_bits()
+        );
+        let wl = b.wl(LwlId(0));
+        assert_eq!(
+            plain.program_wl(wl, &[1, 2, 3]).unwrap().to_bits(),
+            gated.program_wl(wl, &[1, 2, 3]).unwrap().to_bits()
+        );
+        let page = wl.page(PageType::Lsb);
+        let retry = crate::retry::RetryModel::default();
+        let (_, t0, _) = plain.read_page_with_retries(page, 100.0, &retry).unwrap();
+        let (_, t1, _) = gated.read_page_with_retries(page, 100.0, &retry).unwrap();
+        assert_eq!(t0.to_bits(), t1.to_bits());
+    }
+
+    #[test]
+    fn erase_fault_marks_block_failed_and_sticky() {
+        let mut a = faulty_array(harsh_faults());
+        let geo = a.geometry().clone();
+        // Find a block whose first erase fails.
+        let victim = (0..geo.blocks_per_plane())
+            .map(|b| blk(0, b))
+            .find(|&b| a.fault_injector().erase_fails(b, 0))
+            .expect("20% erase-fail rate must hit some block");
+        assert_eq!(a.erase_block(victim).unwrap_err(), FlashError::EraseFailed { addr: victim });
+        assert_eq!(a.phase(victim).unwrap(), BlockPhase::Failed);
+        // Failed is sticky: later erases keep failing without a new draw.
+        assert!(matches!(a.erase_block(victim), Err(FlashError::EraseFailed { .. })));
+        assert!(a.erase_block(victim).unwrap_err().is_media_failure());
+    }
+
+    #[test]
+    fn program_fault_keeps_earlier_wls_readable() {
+        let mut a = faulty_array(harsh_faults());
+        let geo = a.geometry().clone();
+        // Find a block that erases fine and whose second WL program fails.
+        let victim = (0..geo.blocks_per_plane())
+            .map(|b| blk(1, b))
+            .find(|&b| {
+                !a.fault_injector().erase_fails(b, 0)
+                    && !a.fault_injector().program_fails(b.wl(LwlId(0)), 1)
+                    && a.fault_injector().program_fails(b.wl(LwlId(1)), 1)
+            })
+            .expect("30% program-fail rate must hit some block");
+        a.erase_block(victim).unwrap();
+        a.program_wl(victim.wl(LwlId(0)), &[7, 8, 9]).unwrap();
+        let err = a.program_wl(victim.wl(LwlId(1)), &[1, 2, 3]).unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed { wl: victim.wl(LwlId(1)) });
+        assert!(err.is_media_failure());
+        assert_eq!(a.phase(victim).unwrap(), BlockPhase::Failed);
+        // The WL programmed before the failure survives for relocation.
+        let (d, _) = a.read_page(victim.wl(LwlId(0)).page(PageType::Csb)).unwrap();
+        assert_eq!(d, 8);
+        // But the block takes no further programs or erases.
+        assert!(a.program_wl(victim.wl(LwlId(1)), &[1, 2, 3]).is_err());
+        assert!(a.erase_block(victim).is_err());
+    }
+
+    #[test]
+    fn weak_blocks_elevate_expected_error_bits() {
+        let mut a = faulty_array(harsh_faults());
+        let geo = a.geometry().clone();
+        let inj = a.fault_injector().clone();
+        let weak = (0..geo.blocks_per_plane())
+            .map(|b| blk(2, b))
+            .find(|&b| inj.ber_multiplier(b) > 1.0 && !inj.erase_fails(b, 0))
+            .expect("80% weak rate must hit some block");
+        a.erase_block(weak).unwrap();
+        let page = weak.wl(LwlId(0)).page(PageType::Lsb);
+        let bits = a.expected_error_bits(page, 0.0);
+        let retry = crate::retry::RetryModel::default();
+        assert!(retry.is_uncorrectable(bits), "weak page must exceed the retry ladder: {bits}");
     }
 }

@@ -18,6 +18,11 @@ pub enum BlockPhase {
     Open,
     /// Every word-line is programmed.
     Full,
+    /// A program or erase on this block reported a media fault. Pages
+    /// programmed before the failure stay readable (so live data can be
+    /// relocated), but further programs and erases are rejected: the block
+    /// must be retired.
+    Failed,
 }
 
 /// Mutable state of one block.
@@ -50,8 +55,16 @@ impl BlockState {
         self.pages = None;
     }
 
-    pub(crate) fn program_wl(
-        &mut self,
+    /// Marks the block failed after a media fault, preserving already-
+    /// programmed pages for relocation.
+    pub(crate) fn mark_failed(&mut self) {
+        self.phase = BlockPhase::Failed;
+    }
+
+    /// The legality checks of [`BlockState::program_wl`] without the
+    /// mutation, so a fault draw can be taken on an operation known legal.
+    pub(crate) fn check_program(
+        &self,
         geo: &Geometry,
         addr: BlockAddr,
         lwl: LwlId,
@@ -64,11 +77,24 @@ impl BlockState {
         match self.phase {
             BlockPhase::Fresh => return Err(FlashError::ProgramOnUnerased { addr }),
             BlockPhase::Full => return Err(FlashError::BlockFull { addr }),
+            BlockPhase::Failed => return Err(FlashError::ProgramFailed { wl: addr.wl(lwl) }),
             BlockPhase::Erased | BlockPhase::Open => {}
         }
         if lwl != self.next_lwl {
             return Err(FlashError::ProgramOutOfOrder { addr, expected: self.next_lwl, got: lwl });
         }
+        Ok(())
+    }
+
+    pub(crate) fn program_wl(
+        &mut self,
+        geo: &Geometry,
+        addr: BlockAddr,
+        lwl: LwlId,
+        data: &[u64],
+    ) -> Result<()> {
+        self.check_program(geo, addr, lwl, data)?;
+        let per_wl = geo.pages_per_lwl();
         let total = (geo.pages_per_block()) as usize;
         let pages = self.pages.get_or_insert_with(|| vec![0u64; total].into_boxed_slice());
         let base = (lwl.0 * per_wl) as usize;
@@ -86,7 +112,7 @@ impl BlockState {
         let lwl = page.wl.lwl;
         let programmed = match self.phase {
             BlockPhase::Full => true,
-            BlockPhase::Open => lwl < self.next_lwl,
+            BlockPhase::Open | BlockPhase::Failed => lwl < self.next_lwl,
             BlockPhase::Fresh | BlockPhase::Erased => false,
         };
         if !programmed {

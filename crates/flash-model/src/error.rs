@@ -55,6 +55,28 @@ pub enum FlashError {
         /// Address that collided with an earlier one in the same command.
         addr: BlockAddr,
     },
+    /// The word-line program reported status fail (media fault); the block
+    /// must be retired.
+    ProgramFailed {
+        /// Word-line whose program failed.
+        wl: WlAddr,
+    },
+    /// The block erase failed to verify (media fault); the block must be
+    /// retired.
+    EraseFailed {
+        /// Block whose erase failed.
+        addr: BlockAddr,
+    },
+}
+
+impl FlashError {
+    /// Whether this error is an injected media fault (as opposed to an
+    /// illegal request): the caller should retire the block and remap, not
+    /// treat it as a bug.
+    #[must_use]
+    pub fn is_media_failure(&self) -> bool {
+        matches!(self, FlashError::ProgramFailed { .. } | FlashError::EraseFailed { .. })
+    }
 }
 
 impl fmt::Display for FlashError {
@@ -82,6 +104,12 @@ impl fmt::Display for FlashError {
             FlashError::EmptyMultiPlane => write!(f, "multi-plane command with no operations"),
             FlashError::MultiPlaneConflict { addr } => {
                 write!(f, "multi-plane command addresses plane of {addr} more than once")
+            }
+            FlashError::ProgramFailed { wl } => {
+                write!(f, "program status fail on {wl}: block must be retired")
+            }
+            FlashError::EraseFailed { addr } => {
+                write!(f, "erase failure on block {addr}: block must be retired")
             }
         }
     }

@@ -1,0 +1,253 @@
+//! Deterministic media-fault injection.
+//!
+//! The paper's §VI-C studies QSTR-MED "under high failure rates when an SSD
+//! drive is subject to wear and tear". Real NAND fails in three observable
+//! ways a controller must survive: a *program-status failure* (the ISPP loop
+//! exhausts its pulse budget), an *erase failure* (the block never verifies
+//! erased), and *weak pages* whose raw bit error rate exceeds what the retry
+//! ladder can correct. This module injects all three deterministically: like
+//! [`crate::LatencyModel`], every fault is a pure function of
+//! `(seed, address, P/E cycle)`, so a run is exactly reproducible and a
+//! disabled injector (the default) draws nothing at all.
+
+use crate::ids::{BlockAddr, WlAddr};
+use crate::sampler::Sampler;
+
+const TAG_PROGRAM_FAIL: u64 = 0x80;
+const TAG_ERASE_FAIL: u64 = 0x81;
+const TAG_WEAK_BLOCK: u64 = 0x82;
+
+/// Fault-injection rates. The default is fully disabled: no draws are made
+/// and the array behaves exactly as perfect media.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a word-line program reports status fail.
+    pub program_fail_prob: f64,
+    /// Probability that a block erase fails to verify.
+    pub erase_fail_prob: f64,
+    /// Exponential growth of both failure probabilities per 1000 P/E cycles
+    /// (worn blocks fail more often).
+    pub fail_growth_per_kpe: f64,
+    /// Probability that a block is *weak*: its pages carry an elevated raw
+    /// bit error rate. A stable per-block trait, not a per-read dice roll.
+    pub weak_block_prob: f64,
+    /// RBER multiplier applied to weak blocks' pages.
+    pub weak_ber_multiplier: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            program_fail_prob: 0.0,
+            erase_fail_prob: 0.0,
+            fail_growth_per_kpe: 0.0,
+            weak_block_prob: 0.0,
+            weak_ber_multiplier: 1.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A one-knob configuration for sweep experiments. `rate` is the
+    /// probability that a block *dies during one P/E cycle*, split evenly
+    /// between erase failures and program failures; the per-word-line
+    /// program probability is scaled down by a nominal 64 word-lines per
+    /// block so a full block fill contributes about as much risk as its
+    /// erase. Weak blocks appear at four times `rate` with an error
+    /// elevation deep enough that weak pages exceed the retry ladder.
+    #[must_use]
+    pub fn with_rate(rate: f64) -> Self {
+        if rate <= 0.0 {
+            return FaultConfig::default();
+        }
+        const NOMINAL_WLS_PER_BLOCK: f64 = 64.0;
+        FaultConfig {
+            program_fail_prob: rate / (2.0 * NOMINAL_WLS_PER_BLOCK),
+            erase_fail_prob: rate / 2.0,
+            fail_growth_per_kpe: 0.25,
+            weak_block_prob: (4.0 * rate).min(1.0),
+            weak_ber_multiplier: 300.0,
+        }
+    }
+
+    /// Whether any fault source is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.program_fail_prob > 0.0 || self.erase_fail_prob > 0.0 || self.weak_block_prob > 0.0
+    }
+}
+
+/// Stateless fault oracle: answers "does this operation fail?" as a pure
+/// function of `(seed, address, P/E cycle)`.
+///
+/// ```
+/// use flash_model::{BlockAddr, BlockId, ChipId, FaultConfig, FaultInjector, PlaneId};
+///
+/// let inj = FaultInjector::new(FaultConfig::with_rate(0.01), 7);
+/// let addr = BlockAddr::new(ChipId(0), PlaneId(0), BlockId(3));
+/// // Deterministic: asking twice gives the same answer.
+/// assert_eq!(inj.erase_fails(addr, 100), inj.erase_fails(addr, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    sampler: Sampler,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose draws are decorrelated from the latency and
+    /// BER models sharing the same master seed.
+    #[must_use]
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultInjector { config, sampler: Sampler::new(seed).derive(0xfa17) }
+    }
+
+    /// The configured rates.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Whether any fault source is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled()
+    }
+
+    fn effective(&self, base: f64, pe: u32) -> f64 {
+        base * (self.config.fail_growth_per_kpe * f64::from(pe) / 1000.0).exp()
+    }
+
+    /// Whether programming `wl` at `pe` cycles reports status fail.
+    #[must_use]
+    pub fn program_fails(&self, wl: WlAddr, pe: u32) -> bool {
+        let p = self.effective(self.config.program_fail_prob, pe);
+        p > 0.0
+            && self.sampler.bernoulli(
+                p,
+                &[
+                    TAG_PROGRAM_FAIL,
+                    u64::from(wl.block.chip.0),
+                    u64::from(wl.block.plane.0),
+                    u64::from(wl.block.block.0),
+                    u64::from(wl.lwl.0),
+                    u64::from(pe),
+                ],
+            )
+    }
+
+    /// Whether erasing `addr` at `pe` cycles fails to verify.
+    #[must_use]
+    pub fn erase_fails(&self, addr: BlockAddr, pe: u32) -> bool {
+        let p = self.effective(self.config.erase_fail_prob, pe);
+        p > 0.0
+            && self.sampler.bernoulli(
+                p,
+                &[
+                    TAG_ERASE_FAIL,
+                    u64::from(addr.chip.0),
+                    u64::from(addr.plane.0),
+                    u64::from(addr.block.0),
+                    u64::from(pe),
+                ],
+            )
+    }
+
+    /// RBER multiplier for a block: [`FaultConfig::weak_ber_multiplier`] if
+    /// the block drew the weak trait, `1.0` otherwise.
+    #[must_use]
+    pub fn ber_multiplier(&self, addr: BlockAddr) -> f64 {
+        let p = self.config.weak_block_prob;
+        if p > 0.0
+            && self.sampler.bernoulli(
+                p,
+                &[
+                    TAG_WEAK_BLOCK,
+                    u64::from(addr.chip.0),
+                    u64::from(addr.plane.0),
+                    u64::from(addr.block.0),
+                ],
+            )
+        {
+            self.config.weak_ber_multiplier
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BlockId, ChipId, LwlId, PlaneId};
+
+    fn addr(b: u32) -> BlockAddr {
+        BlockAddr::new(ChipId(0), PlaneId(0), BlockId(b))
+    }
+
+    #[test]
+    fn disabled_injector_never_fails() {
+        let inj = FaultInjector::new(FaultConfig::default(), 1);
+        assert!(!inj.enabled());
+        for b in 0..200 {
+            assert!(!inj.erase_fails(addr(b), 0));
+            assert!(!inj.program_fails(addr(b).wl(LwlId(0)), 0));
+            assert_eq!(inj.ber_multiplier(addr(b)), 1.0);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let cfg = FaultConfig { erase_fail_prob: 0.1, ..FaultConfig::with_rate(0.1) };
+        let inj = FaultInjector::new(cfg, 2);
+        let n = 20_000u32;
+        let fails = (0..n).filter(|&b| inj.erase_fails(addr(b), 0)).count();
+        let rate = fails as f64 / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.01, "erase fail rate {rate}");
+    }
+
+    #[test]
+    fn with_rate_splits_risk_between_erase_and_block_fill() {
+        let cfg = FaultConfig::with_rate(0.02);
+        assert!((cfg.erase_fail_prob - 0.01).abs() < 1e-12);
+        // A nominal 64-word-line fill carries the same total risk.
+        assert!((cfg.program_fail_prob * 64.0 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_tag_separated() {
+        let cfg = FaultConfig { program_fail_prob: 0.5, ..FaultConfig::with_rate(0.5) };
+        let inj = FaultInjector::new(cfg, 3);
+        let wl = addr(9).wl(LwlId(2));
+        assert_eq!(inj.program_fails(wl, 50), inj.program_fails(wl, 50));
+        // Same address, different P/E -> an independent draw exists.
+        let differs = (0..64).any(|pe| inj.program_fails(wl, pe) != inj.program_fails(wl, pe + 1));
+        assert!(differs, "P/E must participate in the draw");
+    }
+
+    #[test]
+    fn wear_growth_raises_failure_rate() {
+        let cfg = FaultConfig { fail_growth_per_kpe: 1.0, ..FaultConfig::with_rate(0.02) };
+        let inj = FaultInjector::new(cfg, 4);
+        let n = 20_000u32;
+        let fresh = (0..n).filter(|&b| inj.erase_fails(addr(b), 0)).count();
+        let worn = (0..n).filter(|&b| inj.erase_fails(addr(b), 3000)).count();
+        assert!(worn > fresh * 5, "{fresh} fresh vs {worn} worn");
+    }
+
+    #[test]
+    fn weak_blocks_are_a_stable_trait() {
+        let inj = FaultInjector::new(FaultConfig::with_rate(0.05), 5);
+        let weak: Vec<u32> = (0..500).filter(|&b| inj.ber_multiplier(addr(b)) > 1.0).collect();
+        assert!(!weak.is_empty(), "some blocks should be weak at 20%");
+        for &b in &weak {
+            assert_eq!(inj.ber_multiplier(addr(b)), 300.0);
+        }
+    }
+
+    #[test]
+    fn with_rate_zero_is_disabled() {
+        assert!(!FaultConfig::with_rate(0.0).enabled());
+        assert_eq!(FaultConfig::with_rate(0.0), FaultConfig::default());
+    }
+}

@@ -58,6 +58,7 @@ mod ber;
 mod chip;
 mod config;
 mod error;
+mod fault;
 mod geometry;
 mod ids;
 mod latency;
@@ -71,6 +72,7 @@ pub use ber::BerModel;
 pub use chip::BlockPhase;
 pub use config::{FlashConfig, FlashConfigBuilder};
 pub use error::FlashError;
+pub use fault::{FaultConfig, FaultInjector};
 pub use geometry::Geometry;
 pub use ids::{
     BlockAddr, BlockId, CellType, ChipId, LwlId, PageAddr, PageType, PlaneId, PwlLayer, StringId,

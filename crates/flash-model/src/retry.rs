@@ -34,23 +34,46 @@ impl Default for RetryModel {
 
 impl RetryModel {
     /// Retry rounds needed for a page with `expected_error_bits`.
+    ///
+    /// Total (never panics, never exceeds `max_retries`): a NaN expectation
+    /// or a degenerate model (`correctable_bits <= 0`, zero/negative gain)
+    /// saturates at `max_retries` rather than dividing by zero.
     #[must_use]
     pub fn retries(&self, expected_error_bits: f64) -> u32 {
+        if self.max_retries == 0 {
+            return 0;
+        }
         if expected_error_bits <= self.correctable_bits {
             return 0;
         }
+        // A NaN expectation fails the comparison above and saturates here.
+        if !expected_error_bits.is_finite()
+            || self.correctable_bits <= 0.0
+            || self.gain_per_retry <= 0.0
+        {
+            return self.max_retries;
+        }
         let excess = expected_error_bits / self.correctable_bits - 1.0;
-        let rounds = (excess / self.gain_per_retry).ceil() as u32;
-        rounds.clamp(1, self.max_retries)
+        let rounds = (excess / self.gain_per_retry).ceil();
+        if !rounds.is_finite() || rounds >= f64::from(self.max_retries) {
+            return self.max_retries;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        (rounds as u32).clamp(1, self.max_retries)
     }
 
     /// Whether the page is beyond even the deepest retry level and must be
-    /// refreshed or retired.
+    /// refreshed or retired. A NaN expectation counts as uncorrectable (the
+    /// conservative answer for the refresh path).
     #[must_use]
     pub fn is_uncorrectable(&self, expected_error_bits: f64) -> bool {
         let max_budget =
             self.correctable_bits * (1.0 + self.gain_per_retry * f64::from(self.max_retries));
-        expected_error_bits > max_budget
+        match expected_error_bits.partial_cmp(&max_budget) {
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal) => false,
+            // Greater — or incomparable (NaN), the conservative answer.
+            _ => true,
+        }
     }
 
     /// Total read latency including retries, µs.
@@ -101,5 +124,46 @@ mod tests {
         let edge = m.correctable_bits * (1.0 + m.gain_per_retry * f64::from(m.max_retries));
         assert!(!m.is_uncorrectable(edge * 0.99));
         assert!(m.is_uncorrectable(edge * 1.01));
+    }
+
+    #[test]
+    fn zero_max_retries_never_panics_or_retries() {
+        let m = RetryModel { max_retries: 0, ..RetryModel::default() };
+        assert_eq!(m.retries(0.0), 0);
+        assert_eq!(m.retries(1e12), 0);
+        assert_eq!(m.retries(f64::NAN), 0);
+        assert_eq!(m.read_latency_us(58.0, 1e12), 58.0);
+        // With no retry ladder, anything above the hard-decision budget is
+        // uncorrectable.
+        assert!(m.is_uncorrectable(m.correctable_bits * 1.01));
+    }
+
+    #[test]
+    fn zero_correctable_bits_saturates_instead_of_dividing_by_zero() {
+        let m = RetryModel { correctable_bits: 0.0, ..RetryModel::default() };
+        assert_eq!(m.retries(1.0), m.max_retries);
+        assert_eq!(m.retries(0.0), 0, "zero errors on a zero-budget ECC need no retries");
+        assert!(m.retries(500.0) <= m.max_retries);
+        assert!(m.is_uncorrectable(1.0));
+    }
+
+    #[test]
+    fn non_finite_error_bits_are_handled_conservatively() {
+        let m = RetryModel::default();
+        assert_eq!(m.retries(f64::NAN), m.max_retries);
+        assert_eq!(m.retries(f64::INFINITY), m.max_retries);
+        assert_eq!(m.retries(f64::NEG_INFINITY), 0);
+        assert!(m.is_uncorrectable(f64::NAN), "NaN must trigger refresh, not pass silently");
+        assert!(m.is_uncorrectable(f64::INFINITY));
+        assert!(!m.is_uncorrectable(f64::NEG_INFINITY));
+        let lat = m.read_latency_us(58.0, f64::NAN);
+        assert!(lat.is_finite() && lat >= 58.0);
+    }
+
+    #[test]
+    fn zero_gain_saturates() {
+        let m = RetryModel { gain_per_retry: 0.0, ..RetryModel::default() };
+        assert_eq!(m.retries(m.correctable_bits * 2.0), m.max_retries);
+        assert!(m.is_uncorrectable(m.correctable_bits * 1.01));
     }
 }

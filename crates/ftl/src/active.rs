@@ -9,6 +9,30 @@ use pvcheck::BlockSummary;
 /// Payload tag marking a padding page that stores no logical data.
 pub(crate) const FILLER: u64 = u64::MAX;
 
+/// A superblock member whose word-line program reported status fail.
+#[derive(Debug)]
+pub(crate) struct FailedMember {
+    /// The failed block (now in phase `Failed`; earlier word-lines remain
+    /// readable for relocation).
+    pub addr: BlockAddr,
+    /// The page payloads the failed program was carrying, in page order
+    /// (may include [`FILLER`]).
+    pub payload: Vec<u64>,
+}
+
+/// Result of programming one super word-line, fault-aware: the surviving
+/// members' assignments and command outcome, plus any members lost to
+/// program-status failures (already dropped from the superblock).
+#[derive(Debug)]
+pub(crate) struct SuperwlProgram {
+    /// `(lpn, physical page)` for every non-filler page that programmed.
+    pub assignments: Vec<(u64, PageAddr)>,
+    /// Command outcome over the surviving members.
+    pub outcome: MpOutcome,
+    /// Members that failed this program (empty on healthy media).
+    pub failures: Vec<FailedMember>,
+}
+
 /// One open superblock being filled super-word-line by super-word-line.
 #[derive(Debug)]
 pub(crate) struct ActiveSuperblock {
@@ -89,17 +113,22 @@ impl ActiveSuperblock {
 
     /// Programs the next super word-line from the staging buffer.
     ///
-    /// Returns the page assignments `(lpn, physical page)` for every
-    /// non-filler page plus the multi-plane command outcome. The staging
-    /// buffer must hold exactly one super word-line (use [`Self::pad`]).
+    /// Issues one word-line program per member (real multi-plane commands
+    /// fail per-plane, so a member's program-status failure does not abort
+    /// the others). Members that fail are dropped from the superblock —
+    /// it keeps operating degraded — and returned in
+    /// [`SuperwlProgram::failures`] so the caller can retire the block and
+    /// remap the lost pages. On healthy media the latencies, outcome and
+    /// assignments are bit-identical to a single multi-plane command.
+    ///
+    /// The staging buffer must hold exactly one super word-line (use
+    /// [`Self::pad`]).
     ///
     /// # Errors
     ///
-    /// Propagates flash errors (which indicate FTL invariant bugs).
-    pub(crate) fn program_superwl(
-        &mut self,
-        array: &mut FlashArray,
-    ) -> Result<(Vec<(u64, PageAddr)>, MpOutcome)> {
+    /// Propagates non-media flash errors (which indicate FTL invariant
+    /// bugs).
+    pub(crate) fn program_superwl(&mut self, array: &mut FlashArray) -> Result<SuperwlProgram> {
         debug_assert_eq!(self.staging.len(), self.superwl_pages());
         debug_assert!(!self.is_full());
         let ppl = self.pages_per_lwl as usize;
@@ -109,30 +138,50 @@ impl ActiveSuperblock {
         // Page-major striping: staged page `i` lands on member `i % members`
         // as page `i / members`, so consecutive host pages form a *superpage*
         // (one page per chip) and read back in parallel.
-        let payloads_owned: Vec<Vec<u64>> = (0..members)
+        let payloads: Vec<Vec<u64>> = (0..members)
             .map(|m| (0..ppl).map(|k| self.staging[k * members + m]).collect())
             .collect();
-        let payloads: Vec<&[u64]> = payloads_owned.iter().map(Vec::as_slice).collect();
-        let outcome = array.mp_program(&wls, &payloads)?;
-        // Feed the gatherers with each member's observed latency.
-        for (g, &lat) in self.gatherers.iter_mut().zip(&outcome.member_us) {
-            g.record(self.next_lwl, lat).expect("gather follows program order");
+        let mut member_us = Vec::with_capacity(members);
+        let mut survived = Vec::with_capacity(members);
+        let mut failures = Vec::new();
+        for (m, payload) in payloads.iter().enumerate() {
+            match array.program_wl(wls[m], payload) {
+                Ok(t) => {
+                    member_us.push(t);
+                    survived.push(m);
+                }
+                Err(e) if e.is_media_failure() => {
+                    failures.push(FailedMember { addr: self.members[m], payload: payload.clone() });
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        // Compute page assignments.
+        // Feed the surviving members' gatherers with observed latencies.
+        for (&m, &lat) in survived.iter().zip(&member_us) {
+            self.gatherers[m].record(self.next_lwl, lat).expect("gather follows program order");
+        }
+        // Compute page assignments for the pages that actually programmed.
         let cell = array.geometry().cell();
         let mut assignments = Vec::new();
-        for (m, &wl) in wls.iter().enumerate() {
+        for &m in &survived {
             for k in 0..ppl {
                 let lpn = self.staging[k * members + m];
                 if lpn != FILLER {
                     let pt = PageType::from_index(cell, k as u32).expect("k < pages_per_lwl");
-                    assignments.push((lpn, wl.page(pt)));
+                    assignments.push((lpn, wls[m].page(pt)));
                 }
+            }
+        }
+        // Drop failed members: the superblock continues degraded.
+        for f in &failures {
+            if let Some(i) = self.members.iter().position(|&m| m == f.addr) {
+                self.members.remove(i);
+                self.gatherers.remove(i);
             }
         }
         self.staging.clear();
         self.next_lwl += 1;
-        Ok((assignments, outcome))
+        Ok(SuperwlProgram { assignments, outcome: MpOutcome::from_members(member_us), failures })
     }
 
     /// Consumes the superblock when full, yielding each member's gathered
@@ -182,14 +231,55 @@ mod tests {
         }
         a.stage(FILLER);
         a.pad();
-        let (assignments, outcome) = a.program_superwl(&mut array).unwrap();
-        assert_eq!(assignments.len(), 11);
-        assert_eq!(outcome.member_us.len(), 4);
-        assert!(outcome.extra_us >= 0.0);
+        let result = a.program_superwl(&mut array).unwrap();
+        assert_eq!(result.assignments.len(), 11);
+        assert_eq!(result.outcome.member_us.len(), 4);
+        assert!(result.outcome.extra_us >= 0.0);
+        assert!(result.failures.is_empty(), "healthy media never fails");
         // Check one assignment is readable with the right tag.
-        let (lpn, ppa) = assignments[5];
+        let (lpn, ppa) = result.assignments[5];
         let (tag, _) = array.read_page(ppa).unwrap();
         assert_eq!(tag, lpn);
+    }
+
+    #[test]
+    fn failed_member_is_dropped_and_reported() {
+        use flash_model::FaultConfig;
+        let config =
+            FlashConfig::builder().chips(4).blocks_per_plane(4).pwl_layers(2).strings(4).build();
+        // A 5% per-word-line rate (no erase faults) so a short seed scan
+        // reliably produces a mid-superblock program failure.
+        let fault = FaultConfig { program_fail_prob: 0.05, ..FaultConfig::default() };
+        'seeds: for seed in 0..64 {
+            let mut array = FlashArray::with_faults(config.clone(), seed, fault.clone());
+            let members: Vec<BlockAddr> =
+                (0..4).map(|c| BlockAddr::new(ChipId(c), PlaneId(0), BlockId(0))).collect();
+            for &m in &members {
+                if array.erase_block(m).is_err() {
+                    continue 'seeds;
+                }
+            }
+            let mut a = ActiveSuperblock::new(members.clone(), 4, 2, 3);
+            for wl in 0..8u64 {
+                for p in 0..a.superwl_pages() as u64 {
+                    a.stage(wl * 100 + p);
+                }
+                let result = a.program_superwl(&mut array).unwrap();
+                if result.failures.is_empty() {
+                    continue;
+                }
+                // A member died: it is gone from the superblock, its payload
+                // is reported, and the survivors carried their pages.
+                let dead = result.failures[0].addr;
+                assert!(members.contains(&dead));
+                assert!(!a.members.contains(&dead));
+                assert_eq!(a.members.len() + result.failures.len(), 4);
+                assert_eq!(result.failures[0].payload.len(), 3);
+                assert_eq!(result.outcome.member_us.len(), a.members.len());
+                return;
+            }
+        }
+        panic!("no seed under 64 produced a mid-superblock program failure at 5%");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! FTL configuration.
 
 use crate::gc::GcPolicy;
-use flash_model::FlashConfig;
+use flash_model::{FaultConfig, FlashConfig, RetryModel};
 
 /// How free blocks are organized into superblocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -57,6 +57,13 @@ pub struct FtlConfig {
     /// Run garbage collection in idle gaps of timed runs (reduces
     /// foreground GC pauses at the cost of background work).
     pub idle_gc: bool,
+    /// Media fault injection (disabled by default: perfect media, and the
+    /// read path skips its ECC consult entirely so results stay
+    /// bit-identical to a fault-free build).
+    pub fault: FaultConfig,
+    /// Read-retry/ECC model consulted by the read path when fault injection
+    /// is enabled (uncorrectable pages trigger refresh relocation).
+    pub retry: RetryModel,
 }
 
 impl FtlConfig {
@@ -81,6 +88,8 @@ impl FtlConfig {
             transfer_us: 10.0,
             precharacterize: true,
             idle_gc: false,
+            fault: FaultConfig::default(),
+            retry: RetryModel::default(),
         }
     }
 
@@ -104,6 +113,18 @@ impl FtlConfig {
         }
         if self.transfer_us < 0.0 {
             return Err("transfer_us must be non-negative".to_string());
+        }
+        for (name, p) in [
+            ("fault.program_fail_prob", self.fault.program_fail_prob),
+            ("fault.erase_fail_prob", self.fault.erase_fail_prob),
+            ("fault.weak_block_prob", self.fault.weak_block_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        if self.fault.program_fail_prob > 0.2 || self.fault.erase_fail_prob > 0.2 {
+            return Err("fault rates above 20% starve the free pools; lower them".to_string());
         }
         let min_blocks = (self.gc_high_watermark + 2) as u32;
         if self.flash.geometry.blocks_per_plane() < min_blocks {
@@ -129,6 +150,8 @@ impl Default for FtlConfig {
             transfer_us: 10.0,
             precharacterize: true,
             idle_gc: false,
+            fault: FaultConfig::default(),
+            retry: RetryModel::default(),
         }
     }
 }
@@ -154,6 +177,22 @@ mod tests {
         let cfg =
             FtlConfig { gc_low_watermark: 3, gc_high_watermark: 3, ..FtlConfig::small_test() };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_fault_rates_rejected() {
+        let mut cfg = FtlConfig::small_test();
+        cfg.fault.program_fail_prob = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FtlConfig::small_test();
+        cfg.fault.erase_fail_prob = -0.1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FtlConfig::small_test();
+        cfg.fault = FaultConfig::with_rate(0.5);
+        assert!(cfg.validate().is_err(), "50% fault rate is unserviceable");
+        let mut cfg = FtlConfig::small_test();
+        cfg.fault = FaultConfig::with_rate(0.02);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -6,7 +6,7 @@ use pvcheck::assembly::QstrMed;
 use pvcheck::{BlockSummary, SpeedClass};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Owns the free blocks of every chip pool and assembles superblocks from
 /// them according to the configured [`OrganizationScheme`].
@@ -27,6 +27,10 @@ pub struct BlockManager {
     qstr: QstrMed,
     /// Last known summary of every block ever observed.
     summaries: HashMap<BlockAddr, BlockSummary>,
+    /// Bad-block table: blocks permanently removed from service after a
+    /// program/erase media failure. They are never handed out again and
+    /// [`BlockManager::free`] silently drops them.
+    retired: HashSet<BlockAddr>,
     rng: StdRng,
 }
 
@@ -55,6 +59,7 @@ impl BlockManager {
             unknown,
             qstr: QstrMed::with_candidates(candidates),
             summaries: HashMap::new(),
+            retired: HashSet::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -109,9 +114,52 @@ impl BlockManager {
         (0..self.pool_count).map(|p| self.free_in_pool(p)).sum()
     }
 
+    /// Permanently removes a block from service (bad-block table). The
+    /// block is scrubbed from the free pools and every later
+    /// [`BlockManager::free`] of it is ignored.
+    pub fn retire(&mut self, addr: BlockAddr) {
+        if !self.retired.insert(addr) {
+            return;
+        }
+        // Blocks normally fail while claimed, but scrub the free lists
+        // defensively in case a pooled block is retired directly.
+        let pool = self.pool_of(addr);
+        self.unknown[pool].retain(|&a| a != addr);
+        self.summaries.remove(&addr);
+    }
+
+    /// Whether a block sits in the bad-block table.
+    #[must_use]
+    pub fn is_retired(&self, addr: BlockAddr) -> bool {
+        self.retired.contains(&addr)
+    }
+
+    /// Blocks retired so far.
+    #[must_use]
+    pub fn retired_count(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Claims one free block from pool `p` to replace a failed superblock
+    /// member (re-assembly from the pool). Prefers unobserved blocks;
+    /// under QSTR-MED falls back to the fastest characterized one.
+    pub fn take_from_pool(&mut self, p: usize) -> Option<BlockAddr> {
+        if !self.unknown[p].is_empty() {
+            return Some(self.unknown[p].remove(0));
+        }
+        if self.uses_qstr() {
+            return self.qstr.take_fastest(p);
+        }
+        None
+    }
+
     /// Returns a block to the free state. Pass the latest summary when one
     /// was gathered; otherwise any previously learned summary is reused.
+    /// Retired blocks are dropped, never re-pooled.
     pub fn free(&mut self, addr: BlockAddr, fresh_summary: Option<BlockSummary>) {
+        if self.retired.contains(&addr) {
+            return;
+        }
         if let Some(s) = fresh_summary {
             self.learn(s);
         }
@@ -249,6 +297,44 @@ mod tests {
             m.free(a, None);
         }
         assert_eq!(m.assemblable(), 8);
+    }
+
+    #[test]
+    fn retired_blocks_never_return_to_service() {
+        let mut m = BlockManager::new(&geo(), OrganizationScheme::Sequential, 0);
+        let members = m.allocate(SpeedClass::Fast).unwrap();
+        let dead = members[0];
+        m.retire(dead);
+        assert!(m.is_retired(dead));
+        assert_eq!(m.retired_count(), 1);
+        for a in members {
+            m.free(a, None); // the retired one is silently dropped
+        }
+        while let Some(sb) = m.allocate(SpeedClass::Fast) {
+            assert!(!sb.contains(&dead), "retired block was handed out again");
+        }
+        m.retire(dead); // idempotent
+        assert_eq!(m.retired_count(), 1);
+    }
+
+    #[test]
+    fn take_from_pool_supplies_replacements_until_dry() {
+        let mut m = BlockManager::new(&geo(), OrganizationScheme::Sequential, 0);
+        let r = m.take_from_pool(0).unwrap();
+        assert_eq!(m.pool_of(r), 0);
+        while m.take_from_pool(0).is_some() {}
+        assert_eq!(m.free_in_pool(0), 0);
+        assert!(m.allocate(SpeedClass::Fast).is_none(), "pool 0 is dry");
+    }
+
+    #[test]
+    fn retire_scrubs_free_pools_defensively() {
+        let mut m = BlockManager::new(&geo(), OrganizationScheme::Sequential, 0);
+        let victim = m.take_from_pool(0).unwrap();
+        m.free(victim, None);
+        let before = m.free_in_pool(0);
+        m.retire(victim);
+        assert_eq!(m.free_in_pool(0), before - 1);
     }
 
     #[test]

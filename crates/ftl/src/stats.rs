@@ -1,10 +1,18 @@
 //! Device statistics: latencies, write amplification, extra-latency
 //! accounting.
 
+use std::sync::OnceLock;
+
 /// A simple latency sample collector with percentile queries.
+///
+/// Quantile queries sort lazily and cache the sorted order; the cache is
+/// invalidated by [`LatencyHistogram::record`] and
+/// [`LatencyHistogram::replace_last`], so repeated queries between
+/// insertions cost one sort total instead of one sort each.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     samples_us: Vec<f64>,
+    sorted: OnceLock<Vec<f64>>,
 }
 
 impl LatencyHistogram {
@@ -16,6 +24,7 @@ impl LatencyHistogram {
 
     /// Records one latency sample.
     pub fn record(&mut self, us: f64) {
+        self.sorted.take();
         self.samples_us.push(us);
     }
 
@@ -24,6 +33,7 @@ impl LatencyHistogram {
     pub fn replace_last(&mut self, us: f64) {
         if let Some(last) = self.samples_us.last_mut() {
             *last = us;
+            self.sorted.take();
         }
     }
 
@@ -54,8 +64,11 @@ impl LatencyHistogram {
         if self.samples_us.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples_us.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let sorted = self.sorted.get_or_init(|| {
+            let mut s = self.samples_us.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            s
+        });
         let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         sorted[idx]
     }
@@ -92,6 +105,20 @@ pub struct SsdStats {
     pub extra_erase_us: f64,
     /// Total busy time of the device, µs.
     pub busy_us: f64,
+    /// Time spent on garbage collection in idle gaps of timed runs, µs
+    /// (background work — kept out of `busy_us` so utilization and
+    /// throughput reflect foreground service only).
+    pub idle_gc_us: f64,
+    /// Blocks permanently retired after a program/erase media failure.
+    pub retired_blocks: u64,
+    /// Pages rewritten elsewhere because their program reported status fail
+    /// or their block failed with live data aboard.
+    pub remapped_writes: u64,
+    /// Pages relocated because a read found them beyond the retry ladder.
+    pub refresh_relocations: u64,
+    /// Superblocks that lost at least one member (operating degraded or
+    /// born short-handed from a depleted pool).
+    pub degraded_superblocks: u64,
     /// Host write latency distribution.
     pub write_latency: LatencyHistogram,
     /// Host read latency distribution.
@@ -161,6 +188,46 @@ mod tests {
         let mut empty = LatencyHistogram::new();
         empty.replace_last(1.0); // must not panic
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn repeated_quantile_queries_agree_with_one_shot_values() {
+        // Interleave queries with mutations: every answer must match a
+        // freshly sorted histogram (the cache may never serve stale order).
+        let samples = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0];
+        let mut h = LatencyHistogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            h.record(v);
+            for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                // Repeated queries (cached after the first) ...
+                let a = h.quantile_us(q);
+                let b = h.quantile_us(q);
+                // ... against a one-shot histogram built from scratch.
+                let mut fresh = LatencyHistogram::new();
+                for &w in &samples[..=i] {
+                    fresh.record(w);
+                }
+                let expect = fresh.quantile_us(q);
+                assert_eq!(a, expect, "q={q} after {} samples", i + 1);
+                assert_eq!(b, expect, "repeat query q={q}");
+            }
+        }
+        // replace_last must also invalidate the cached order.
+        h.replace_last(0.5);
+        assert_eq!(h.quantile_us(0.0), 0.5);
+        assert_eq!(h.quantile_us(0.0), 0.5);
+    }
+
+    #[test]
+    fn cloned_histogram_answers_independently() {
+        let mut h = LatencyHistogram::new();
+        h.record(2.0);
+        h.record(1.0);
+        assert_eq!(h.quantile_us(0.0), 1.0); // warm the cache
+        let mut c = h.clone();
+        c.record(0.25);
+        assert_eq!(c.quantile_us(0.0), 0.25);
+        assert_eq!(h.quantile_us(0.0), 1.0, "original unaffected");
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<IoRequest>, TraceError> 
                 reason: "length must be at least 1".to_string(),
             });
         }
+        if lpn.checked_add(len - 1).is_none() {
+            return Err(TraceError::Malformed {
+                line: line_no,
+                reason: format!("run {lpn}+{len} overflows the LPN space"),
+            });
+        }
         for i in 0..len {
             out.push(IoRequest { op, lpn: lpn + i });
         }
@@ -153,6 +159,20 @@ mod tests {
     fn rejects_zero_length() {
         let err = parse_trace(b"W,5,0\n" as &[u8]).unwrap_err();
         assert!(err.to_string().contains("length"));
+    }
+
+    #[test]
+    fn rejects_run_overflowing_lpn_space() {
+        // lpn + len - 1 must stay in u64: this run wraps around.
+        let line = format!("W,{},3\n", u64::MAX - 1);
+        let err = parse_trace(line.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 1, .. }));
+        assert!(err.to_string().contains("overflows"));
+        // The largest legal run is accepted.
+        let line = format!("W,{},2\n", u64::MAX - 1);
+        let reqs = parse_trace(line.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].lpn, u64::MAX);
     }
 
     #[test]
