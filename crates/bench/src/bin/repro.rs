@@ -67,9 +67,10 @@ fn parse_cli() -> Cli {
     if commands.is_empty() {
         commands.push("all".to_string());
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "all",
         "resilience",
+        "queueing",
         "table1",
         "table2",
         "table5",
@@ -394,6 +395,40 @@ fn main() {
             }
             println!("== Resilience: fault-rate sweep (§VI-C) ==\n{}", t.render());
             t.write_csv(cli.out.join("resilience.csv")).expect("write csv");
+        }
+        if run_all || cmd == "queueing" {
+            eprintln!("[{:?}] running queueing ...", t0.elapsed());
+            // Saturating arrival rate (mean gap well under the mean per-op
+            // service time) so the serial and per-chip clocks separate.
+            let geo = Geometry::new(4, 1, 48, 24, 4, CellType::Tlc);
+            let writes = if cli.quick { 20_000 } else { 60_000 };
+            let rows = exp::queueing_experiment(&geo, writes, 7, 30.0);
+            let mut t = TextTable::new([
+                "Scheme",
+                "Model",
+                "write mean",
+                "write p99",
+                "makespan_us",
+                "service_us",
+                "peak QD",
+                "mean util",
+                "peak util",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.scheme.clone(),
+                    r.queue_model.clone(),
+                    us(r.write_mean_us),
+                    us(r.write_p99_us),
+                    format!("{:.0}", r.makespan_us),
+                    format!("{:.0}", r.service_us),
+                    r.queue_depth_max.to_string(),
+                    format!("{:.3}", r.mean_chip_utilization),
+                    format!("{:.3}", r.peak_chip_utilization),
+                ]);
+            }
+            println!("== Queueing: timing model sweep (scheme x queue model) ==\n{}", t.render());
+            t.write_csv(cli.out.join("queueing.csv")).expect("write csv");
         }
         if run_all || cmd == "ssd" {
             eprintln!("[{:?}] running ssd ...", t0.elapsed());

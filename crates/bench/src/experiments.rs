@@ -6,7 +6,7 @@ use crate::runner::{
     PoolCache, SchemeKind, SchemeStats,
 };
 use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
-use ftl::{FtlConfig, OrganizationScheme, Ssd, Workload};
+use ftl::{poisson_arrivals, FtlConfig, IoOp, OrganizationScheme, QueueModel, Ssd, Workload};
 use pvcheck::assembly::Assembler;
 use pvcheck::{overhead, Characterizer};
 
@@ -388,6 +388,99 @@ pub fn ssd_experiment(geometry: &Geometry, writes: usize, seed: u64) -> Vec<SsdR
         .collect()
 }
 
+/// One cell of the queueing sweep: an organization scheme replayed under a
+/// timing model.
+#[derive(Debug, Clone)]
+pub struct QueueingRow {
+    /// Organization scheme name.
+    pub scheme: String,
+    /// Timing model name (`Single` or `PerChip`).
+    pub queue_model: String,
+    /// Mean host write latency (wait + service), µs.
+    pub write_mean_us: f64,
+    /// 99th-percentile host write latency, µs.
+    pub write_p99_us: f64,
+    /// Completion time of the last request, µs.
+    pub makespan_us: f64,
+    /// Sum of per-op service times, µs (model-independent).
+    pub service_us: f64,
+    /// Peak number of requests in flight.
+    pub queue_depth_max: u64,
+    /// Mean busy fraction over chip/plane groups + the host channel
+    /// (0 under `Single`, which keeps no per-group clocks).
+    pub mean_chip_utilization: f64,
+    /// Peak busy fraction over chip/plane groups + the host channel.
+    pub peak_chip_utilization: f64,
+}
+
+/// Queueing sweep: the Table V schemes replayed under both timing models.
+///
+/// The same Poisson-paced hot/cold stream (with reads folded in) is timed
+/// once with the serial device clock (`Single`) and once with per-chip
+/// busy-until clocks (`PerChip`). Service times are model-independent, so
+/// the interesting deltas are makespan and wait: `PerChip` overlaps
+/// independent chips and must finish no later than the serial clock — and
+/// well before the sum of per-op service times once the device saturates.
+///
+/// # Panics
+///
+/// Panics if the simulated device rejects the workload (an internal bug).
+#[must_use]
+pub fn queueing_experiment(
+    geometry: &Geometry,
+    writes: usize,
+    seed: u64,
+    mean_gap_us: f64,
+) -> Vec<QueueingRow> {
+    let schemes = [
+        OrganizationScheme::Random,
+        OrganizationScheme::Sequential,
+        OrganizationScheme::QstrMed { candidates: 4 },
+    ];
+    let models = [QueueModel::Single, QueueModel::PerChip];
+    let mut rows = Vec::new();
+    for &scheme in &schemes {
+        for &queue_model in &models {
+            let config = FtlConfig {
+                flash: FlashConfig {
+                    geometry: geometry.clone(),
+                    variation: flash_model::VariationConfig::default(),
+                },
+                scheme,
+                queue_model,
+                ..FtlConfig::small_test()
+            };
+            let mut ssd = Ssd::new(config, seed).expect("experiment config is valid");
+            let mut reqs =
+                Workload::hot_cold_80_20().generate(&ssd.geometry_info(), writes, seed ^ 0xabc);
+            for (i, r) in reqs.iter_mut().enumerate() {
+                if i % 5 == 3 {
+                    r.op = IoOp::Read;
+                }
+            }
+            let timed = poisson_arrivals(&reqs, mean_gap_us, seed ^ 0x51);
+            ssd.run_timed(&timed).expect("workload fits the device");
+            let stats = ssd.stats();
+            let util = stats.chip_utilization();
+            let peak = util.iter().copied().fold(0.0, f64::max);
+            let mean =
+                if util.is_empty() { 0.0 } else { util.iter().sum::<f64>() / util.len() as f64 };
+            rows.push(QueueingRow {
+                scheme: format!("{scheme:?}"),
+                queue_model: format!("{queue_model:?}"),
+                write_mean_us: stats.write_latency.mean_us(),
+                write_p99_us: stats.write_latency.quantile_us(0.99),
+                makespan_us: stats.makespan_us,
+                service_us: stats.busy_us,
+                queue_depth_max: stats.queue_depth_max,
+                mean_chip_utilization: mean,
+                peak_chip_utilization: peak,
+            });
+        }
+    }
+    rows
+}
+
 /// One cell of the resilience sweep: a scheme driven over faulty media.
 #[derive(Debug, Clone)]
 pub struct ResilienceRow {
@@ -754,6 +847,27 @@ mod tests {
         let stats = pool_stats(&params);
         assert!(stats.bers_pgm_correlation > 0.2);
         assert!(stats.offset_similarity_holds());
+    }
+
+    #[test]
+    fn queueing_experiment_overlaps_chips() {
+        let geo = Geometry::new(4, 1, 24, 8, 4, flash_model::CellType::Tlc);
+        let rows = queueing_experiment(&geo, 8_000, 7, 30.0);
+        assert_eq!(rows.len(), 6);
+        for pair in rows.chunks(2) {
+            let (single, per_chip) = (&pair[0], &pair[1]);
+            assert_eq!(single.queue_model, "Single");
+            assert_eq!(per_chip.queue_model, "PerChip");
+            // Service is model-independent; only the clocks move.
+            assert_eq!(single.service_us.to_bits(), per_chip.service_us.to_bits());
+            assert!(per_chip.makespan_us <= single.makespan_us, "{}", per_chip.scheme);
+            // At a 30 µs arrival gap the device saturates, so overlapping
+            // chips must beat the serial sum of service times.
+            assert!(per_chip.makespan_us < per_chip.service_us, "{}", per_chip.scheme);
+            assert!(per_chip.peak_chip_utilization <= 1.0 + 1e-9);
+            assert!(per_chip.mean_chip_utilization > 0.0);
+            assert_eq!(single.peak_chip_utilization, 0.0, "Single keeps no per-group clocks");
+        }
     }
 
     #[test]

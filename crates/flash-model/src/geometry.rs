@@ -1,6 +1,8 @@
 //! Chip geometry: how many chips, planes, blocks, layers, strings and pages.
 
-use crate::ids::{BlockAddr, BlockId, CellType, ChipId, LwlId, PlaneId, PwlLayer, StringId};
+use crate::ids::{
+    BlockAddr, BlockId, CellType, ChipId, LwlId, PageAddr, PageType, PlaneId, PwlLayer, StringId,
+};
 
 /// Static geometry of a flash array.
 ///
@@ -195,6 +197,69 @@ impl Geometry {
             * self.blocks_per_plane as usize
             + addr.block.0 as usize
     }
+
+    /// Total number of pages in the array.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * u64::from(self.pages_per_block())
+    }
+
+    /// Flat offset of a page within its block: `lwl * pages_per_lwl +
+    /// page.index()`, i.e. program order within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word-line or page type is out of range for this
+    /// geometry's cell type.
+    #[must_use]
+    pub fn page_offset_in_block(&self, ppa: PageAddr) -> usize {
+        assert!(ppa.wl.lwl.0 < self.lwls_per_block(), "lwl {} out of range", ppa.wl.lwl);
+        let pt = ppa.page.index();
+        assert!(pt < self.pages_per_lwl(), "page type {} invalid for {:?}", ppa.page, self.cell);
+        ppa.wl.lwl.0 as usize * self.pages_per_lwl() as usize + pt as usize
+    }
+
+    /// Stable flat index of a page address, suitable for dense tables:
+    /// `block_index * pages_per_block + page_offset_in_block`. Pages of one
+    /// block are contiguous and ordered by `(lwl, page type)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    #[must_use]
+    pub fn page_index(&self, ppa: PageAddr) -> usize {
+        self.block_index(ppa.wl.block) * self.pages_per_block() as usize
+            + self.page_offset_in_block(ppa)
+    }
+
+    /// Inverse of [`Geometry::page_offset_in_block`]: the page address at a
+    /// flat in-block offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= pages_per_block()`.
+    #[must_use]
+    pub fn page_at_offset(&self, block: BlockAddr, offset: usize) -> PageAddr {
+        assert!(offset < self.pages_per_block() as usize, "page offset {offset} out of range");
+        let ppl = self.pages_per_lwl() as usize;
+        let lwl = LwlId((offset / ppl) as u32);
+        let pt = PageType::from_index(self.cell, (offset % ppl) as u32)
+            .expect("offset % pages_per_lwl is a valid page type");
+        block.wl(lwl).page(pt)
+    }
+
+    /// Number of independently schedulable chip/plane groups (one command
+    /// queue per plane of every chip).
+    #[must_use]
+    pub fn chip_plane_groups(&self) -> usize {
+        usize::from(self.chips) * usize::from(self.planes_per_chip)
+    }
+
+    /// Flat index of a block's chip/plane group, in `0..chip_plane_groups()`.
+    #[must_use]
+    pub fn chip_plane_index(&self, addr: BlockAddr) -> usize {
+        usize::from(addr.chip.0) * usize::from(self.planes_per_chip) + usize::from(addr.plane.0)
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +318,47 @@ mod tests {
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn page_index_is_dense_unique_and_block_contiguous() {
+        let g = Geometry::new(2, 2, 3, 2, 2, CellType::Tlc);
+        let mut seen = vec![false; g.total_pages() as usize];
+        for b in g.blocks() {
+            let base = g.block_index(b) * g.pages_per_block() as usize;
+            for (off, lwl) in g.lwls().enumerate() {
+                for (pi, pt) in PageType::for_cell(g.cell()).iter().enumerate() {
+                    let ppa = b.wl(lwl).page(*pt);
+                    let idx = g.page_index(ppa);
+                    // Contiguous within the block, ordered by (lwl, page).
+                    assert_eq!(idx, base + off * g.pages_per_lwl() as usize + pi);
+                    assert!(!seen[idx], "duplicate page index {idx}");
+                    seen[idx] = true;
+                    // Offset/address roundtrip.
+                    assert_eq!(g.page_at_offset(b, g.page_offset_in_block(ppa)), ppa);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "page indices cover the whole array");
+    }
+
+    #[test]
+    fn chip_plane_index_is_dense() {
+        let g = Geometry::new(2, 3, 4, 2, 2, CellType::Slc);
+        assert_eq!(g.chip_plane_groups(), 6);
+        let mut seen = [false; 6];
+        for b in g.blocks() {
+            seen[g.chip_plane_index(b)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_index_rejects_out_of_range_lwl() {
+        let g = Geometry::small_test();
+        let b = BlockAddr::new(ChipId(0), PlaneId(0), BlockId(0));
+        let _ = g.page_index(b.wl(LwlId(g.lwls_per_block())).page(PageType::Lsb));
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub(crate) struct SuperwlProgram {
     pub assignments: Vec<(u64, PageAddr)>,
     /// Command outcome over the surviving members.
     pub outcome: MpOutcome,
+    /// Surviving members' blocks, aligned with `outcome.member_us` — tells
+    /// the per-chip timing model which chip each latency belongs to.
+    pub member_blocks: Vec<BlockAddr>,
     /// Members that failed this program (empty on healthy media).
     pub failures: Vec<FailedMember>,
 }
@@ -172,6 +175,7 @@ impl ActiveSuperblock {
                 }
             }
         }
+        let member_blocks: Vec<BlockAddr> = survived.iter().map(|&m| self.members[m]).collect();
         // Drop failed members: the superblock continues degraded.
         for f in &failures {
             if let Some(i) = self.members.iter().position(|&m| m == f.addr) {
@@ -181,7 +185,12 @@ impl ActiveSuperblock {
         }
         self.staging.clear();
         self.next_lwl += 1;
-        Ok(SuperwlProgram { assignments, outcome: MpOutcome::from_members(member_us), failures })
+        Ok(SuperwlProgram {
+            assignments,
+            outcome: MpOutcome::from_members(member_us),
+            member_blocks,
+            failures,
+        })
     }
 
     /// Consumes the superblock when full, yielding each member's gathered

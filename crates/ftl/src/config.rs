@@ -1,6 +1,7 @@
 //! FTL configuration.
 
 use crate::gc::GcPolicy;
+use crate::timing::QueueModel;
 use flash_model::{FaultConfig, FlashConfig, RetryModel};
 
 /// How free blocks are organized into superblocks.
@@ -57,6 +58,14 @@ pub struct FtlConfig {
     /// Run garbage collection in idle gaps of timed runs (reduces
     /// foreground GC pauses at the cost of background work).
     pub idle_gc: bool,
+    /// Timing model for [`crate::Ssd::run_timed`]. `Single` (the default)
+    /// clocks the device with one scalar queue and reproduces pre-engine
+    /// outputs bit-for-bit; `PerChip` gives every chip/plane group its own
+    /// busy-until clock so requests overlap across chips — a superpage
+    /// program occupies exactly its member chips until `max(tPROG)` while
+    /// operations on other chips proceed. Untimed [`crate::Ssd::run`] is
+    /// unaffected.
+    pub queue_model: QueueModel,
     /// Media fault injection (disabled by default: perfect media, and the
     /// read path skips its ECC consult entirely so results stay
     /// bit-identical to a fault-free build).
@@ -88,6 +97,7 @@ impl FtlConfig {
             transfer_us: 10.0,
             precharacterize: true,
             idle_gc: false,
+            queue_model: QueueModel::Single,
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
         }
@@ -150,6 +160,7 @@ impl Default for FtlConfig {
             transfer_us: 10.0,
             precharacterize: true,
             idle_gc: false,
+            queue_model: QueueModel::Single,
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
         }

@@ -24,13 +24,19 @@ pub(crate) struct SealedSuperblock {
 }
 
 impl SealedSuperblock {
-    /// Valid pages currently stored across the members.
+    /// Valid pages currently stored across the members. Alloc-free: each
+    /// member is one counter read on the dense mapping store.
     pub(crate) fn valid_pages(&self, mapping: &Mapping) -> usize {
-        self.members.iter().map(|&m| mapping.valid_in_block(m).len()).sum()
+        self.members.iter().map(|&m| mapping.valid_in_block_count(m)).sum()
     }
 }
 
 /// Picks a victim index under the policy; `None` when nothing is sealed.
+///
+/// Greedy takes the min over `(valid_pages, index)` and stops early at the
+/// first fully-invalid superblock — nothing can beat zero valid pages, and
+/// the first zero has the smallest index among zeros, so the early exit
+/// returns exactly what the full scan would.
 pub(crate) fn select_victim(
     policy: GcPolicy,
     sealed: &[SealedSuperblock],
@@ -39,12 +45,19 @@ pub(crate) fn select_victim(
     now: u64,
 ) -> Option<usize> {
     match policy {
-        GcPolicy::Greedy => sealed
-            .iter()
-            .enumerate()
-            .map(|(i, sb)| (sb.valid_pages(mapping), i))
-            .min()
-            .map(|(_, i)| i),
+        GcPolicy::Greedy => {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, sb) in sealed.iter().enumerate() {
+                let valid = sb.valid_pages(mapping);
+                if valid == 0 {
+                    return Some(i);
+                }
+                if best.is_none_or(|(b, _)| valid < b) {
+                    best = Some((valid, i));
+                }
+            }
+            best.map(|(_, i)| i)
+        }
         GcPolicy::CostBenefit => sealed
             .iter()
             .enumerate()
@@ -62,7 +75,11 @@ pub(crate) fn select_victim(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flash_model::{BlockId, ChipId, LwlId, PageType, PlaneId};
+    use flash_model::{BlockId, CellType, ChipId, Geometry, LwlId, PageType, PlaneId};
+
+    fn geo() -> Geometry {
+        Geometry::new(2, 1, 4, 24, 4, CellType::Tlc)
+    }
 
     fn blk(c: u16, b: u32) -> BlockAddr {
         BlockAddr::new(ChipId(c), PlaneId(0), BlockId(b))
@@ -74,7 +91,7 @@ mod tests {
 
     #[test]
     fn greedy_picks_the_emptiest_superblock() {
-        let mut mapping = Mapping::new(100);
+        let mut mapping = Mapping::new(100, &geo());
         mapping.map(1, blk(0, 0).wl(LwlId(0)).page(PageType::Lsb));
         mapping.map(2, blk(1, 0).wl(LwlId(0)).page(PageType::Lsb));
         mapping.map(3, blk(0, 1).wl(LwlId(0)).page(PageType::Lsb));
@@ -84,8 +101,28 @@ mod tests {
     }
 
     #[test]
+    fn greedy_ties_resolve_to_the_lowest_index() {
+        let mut mapping = Mapping::new(100, &geo());
+        // Both superblocks hold one valid page each: first wins the tie,
+        // matching the old `min()` over `(count, index)` tuples.
+        mapping.map(1, blk(0, 0).wl(LwlId(0)).page(PageType::Lsb));
+        mapping.map(2, blk(0, 1).wl(LwlId(0)).page(PageType::Lsb));
+        let sbs = vec![sealed(0, 0), sealed(1, 1)];
+        assert_eq!(select_victim(GcPolicy::Greedy, &sbs, &mapping, 48, 2), Some(0));
+    }
+
+    #[test]
+    fn greedy_early_exit_matches_full_scan_on_zero_valid() {
+        let mut mapping = Mapping::new(100, &geo());
+        // Superblock 0 holds data, 1 and 2 are empty: the first zero wins.
+        mapping.map(1, blk(0, 0).wl(LwlId(0)).page(PageType::Lsb));
+        let sbs = vec![sealed(0, 0), sealed(1, 1), sealed(2, 2)];
+        assert_eq!(select_victim(GcPolicy::Greedy, &sbs, &mapping, 48, 3), Some(1));
+    }
+
+    #[test]
     fn cost_benefit_prefers_old_empty_superblocks() {
-        let mut mapping = Mapping::new(100);
+        let mut mapping = Mapping::new(100, &geo());
         // Both equally empty; the older one must win.
         mapping.map(1, blk(0, 0).wl(LwlId(0)).page(PageType::Lsb));
         mapping.map(2, blk(0, 1).wl(LwlId(0)).page(PageType::Lsb));
@@ -95,7 +132,7 @@ mod tests {
 
     #[test]
     fn cost_benefit_avoids_full_superblocks() {
-        let mut mapping = Mapping::new(1000);
+        let mut mapping = Mapping::new(1000, &geo());
         // Superblock 0: old but completely full. Superblock 1: young, empty.
         for lwl in 0..24 {
             mapping.map(u64::from(lwl) * 2, blk(0, 0).wl(LwlId(lwl)).page(PageType::Lsb));
@@ -107,7 +144,7 @@ mod tests {
 
     #[test]
     fn no_sealed_superblocks_means_no_victim() {
-        let mapping = Mapping::new(10);
+        let mapping = Mapping::new(10, &geo());
         for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit] {
             assert_eq!(select_victim(policy, &[], &mapping, 48, 0), None);
         }

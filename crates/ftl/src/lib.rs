@@ -43,6 +43,7 @@ mod manager;
 mod mapping;
 mod request;
 mod stats;
+mod timing;
 pub mod trace;
 mod wear_level;
 mod workload;
@@ -55,6 +56,7 @@ pub use manager::BlockManager;
 pub use mapping::Mapping;
 pub use request::{IoOp, IoRequest};
 pub use stats::{LatencyHistogram, SsdStats};
+pub use timing::QueueModel;
 pub use wear_level::WearTracker;
 pub use workload::{poisson_arrivals, Workload};
 

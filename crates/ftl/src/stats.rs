@@ -119,6 +119,24 @@ pub struct SsdStats {
     /// Superblocks that lost at least one member (operating degraded or
     /// born short-handed from a depleted pool).
     pub degraded_superblocks: u64,
+    /// Total queueing delay across timed-run requests, µs (time between a
+    /// request's arrival and its service starting).
+    pub queue_wait_us: f64,
+    /// Queueing delay suffered by trims in timed runs, µs. Trims take zero
+    /// service time so their wait appears in no latency histogram; this
+    /// counter keeps it from vanishing.
+    pub trim_wait_us: f64,
+    /// Largest number of requests simultaneously queued or in service
+    /// during a timed run (including the arriving request).
+    pub queue_depth_max: u64,
+    /// Completion time of the last piece of work in a timed run, µs (the
+    /// replay makespan). Under `PerChip` this drops below the sum of per-op
+    /// service times when chips genuinely overlap.
+    pub makespan_us: f64,
+    /// Occupancy per chip/plane group in a `PerChip` timed run, µs; the
+    /// final entry is the host channel/controller (page transfers).
+    /// Includes idle-gap GC work. Empty until such a run executes.
+    pub chip_busy_us: Vec<f64>,
     /// Host write latency distribution.
     pub write_latency: LatencyHistogram,
     /// Host read latency distribution.
@@ -151,6 +169,16 @@ impl SsdStats {
             return 0.0;
         }
         self.extra_erase_us / self.superblock_erases as f64
+    }
+
+    /// Per-group utilization of a `PerChip` timed run: occupancy divided by
+    /// makespan, in `[0, 1]` per entry. Empty for `Single` runs.
+    #[must_use]
+    pub fn chip_utilization(&self) -> Vec<f64> {
+        if self.makespan_us <= 0.0 {
+            return vec![0.0; self.chip_busy_us.len()];
+        }
+        self.chip_busy_us.iter().map(|&b| b / self.makespan_us).collect()
     }
 }
 

@@ -1,0 +1,145 @@
+//! Timing models for open-loop trace replay ([`crate::Ssd::run_timed`]).
+//!
+//! The device can be clocked two ways:
+//!
+//! * [`QueueModel::Single`] — one scalar `device_free_at` clock: every
+//!   request serializes behind every other, as if the SSD had a single
+//!   command queue. This is the original model and stays bit-identical.
+//! * [`QueueModel::PerChip`] — one busy-until clock per chip/plane group
+//!   plus one for the host channel: a request waits only for the resources
+//!   it actually touches, so a superpage program occupies exactly its member
+//!   chips until `max(tPROG)` while reads and programs on other chips
+//!   proceed. This is the overlap QSTR-MED's superpage striping exploits.
+//!
+//! During a `PerChip` replay the device records every flash command into a
+//! [`TouchLog`] as `(chip/plane group, duration)`; the replay loop turns the
+//! log into per-group occupancy. The log is disabled outside `PerChip`
+//! replays so the `Single` path stays untouched.
+
+/// Which timing model [`crate::Ssd::run_timed`] uses. See the
+/// [module docs](self) for the two models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueModel {
+    /// One device-wide command queue (the original scalar clock).
+    #[default]
+    Single,
+    /// Per-chip/plane busy-until clocks; requests overlap across chips.
+    PerChip,
+}
+
+/// Sentinel group index for the host channel/controller resource (page
+/// transfers); replay maps it to the slot after the last chip/plane group.
+pub(crate) const CONTROLLER: usize = usize::MAX;
+
+/// Records which chip/plane groups each request occupies and for how long.
+///
+/// Recording is off by default; [`crate::Ssd::run_timed`] enables it only
+/// for `PerChip` replays, so untimed runs and the `Single` model pay one
+/// branch per flash command and nothing else.
+#[derive(Debug, Default)]
+pub(crate) struct TouchLog {
+    enabled: bool,
+    entries: Vec<(usize, f64)>,
+}
+
+impl TouchLog {
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.entries.clear();
+    }
+
+    /// Records `us` of occupancy on a group (or [`CONTROLLER`]).
+    pub(crate) fn record(&mut self, group: usize, us: f64) {
+        if self.enabled {
+            self.entries.push((group, us));
+        }
+    }
+
+    /// Moves the recorded entries into `buf` (cleared first), leaving the
+    /// log empty; buffers swap so neither side reallocates.
+    pub(crate) fn take_into(&mut self, buf: &mut Vec<(usize, f64)>) {
+        buf.clear();
+        std::mem::swap(buf, &mut self.entries);
+    }
+}
+
+/// Completion-time heap tracking how many requests are queued or in service
+/// at each arrival (open-loop queue depth).
+#[derive(Debug, Default)]
+pub(crate) struct InFlight {
+    /// Min-heap of completion times (reversed max-heap over total order).
+    completions: std::collections::BinaryHeap<std::cmp::Reverse<TotalF64>>,
+}
+
+impl InFlight {
+    /// Retires requests completed by `arrival`; returns how many are still
+    /// in flight (excluding the arriving one).
+    pub(crate) fn arrive(&mut self, arrival: f64) -> usize {
+        while self.completions.peek().is_some_and(|c| c.0 .0 <= arrival) {
+            self.completions.pop();
+        }
+        self.completions.len()
+    }
+
+    /// Registers a request completing at `at`.
+    pub(crate) fn complete_at(&mut self, at: f64) {
+        self.completions.push(std::cmp::Reverse(TotalF64(at)));
+    }
+}
+
+/// `f64` wrapper ordered by `total_cmp` so it can live in a heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TouchLog::default();
+        log.record(0, 5.0);
+        let mut buf = Vec::new();
+        log.take_into(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn enabled_log_round_trips_entries() {
+        let mut log = TouchLog::default();
+        log.set_enabled(true);
+        log.record(2, 5.0);
+        log.record(CONTROLLER, 1.0);
+        let mut buf = Vec::new();
+        log.take_into(&mut buf);
+        assert_eq!(buf, vec![(2, 5.0), (CONTROLLER, 1.0)]);
+        log.record(1, 3.0);
+        log.take_into(&mut buf);
+        assert_eq!(buf, vec![(1, 3.0)], "take_into drains the log");
+    }
+
+    #[test]
+    fn in_flight_depth_tracks_overlapping_requests() {
+        let mut q = InFlight::default();
+        assert_eq!(q.arrive(0.0), 0);
+        q.complete_at(10.0);
+        q.complete_at(20.0);
+        assert_eq!(q.arrive(5.0), 2, "both still running at t=5");
+        assert_eq!(q.arrive(10.0), 1, "first completed exactly at t=10");
+        assert_eq!(q.arrive(25.0), 0);
+    }
+}

@@ -1,7 +1,9 @@
 //! Property-based tests: the simulated SSD must agree with an in-memory
-//! model of the logical address space under arbitrary request streams.
+//! model of the logical address space under arbitrary request streams, and
+//! the dense page mapping must agree with its naive `HashMap` oracle.
 
-use ftl::{FtlConfig, IoRequest, OrganizationScheme, Ssd};
+use flash_model::{CellType, Geometry};
+use ftl::{FtlConfig, IoRequest, Mapping, OrganizationScheme, Ssd};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -107,6 +109,84 @@ proptest! {
             dev.write(i % span).unwrap();
         }
         prop_assert!(dev.stats().gc_runs > 0);
+    }
+}
+
+/// One step against the mapping stores: map a logical page somewhere, trim
+/// one, or sweep a whole block (what GC does after relocating + erasing).
+#[derive(Debug, Clone, Copy)]
+enum MapStep {
+    Map { lpn: u64, page: usize },
+    Unmap { lpn: u64 },
+    InvalidateBlock { block: usize },
+}
+
+fn arb_map_steps(
+    capacity: u64,
+    total_pages: usize,
+    total_blocks: usize,
+    len: usize,
+) -> impl Strategy<Value = Vec<MapStep>> {
+    proptest::collection::vec(
+        (0u8..8, 0..capacity, 0..total_pages).prop_map(move |(kind, lpn, page)| match kind {
+            0..=4 => MapStep::Map { lpn, page },
+            5..=6 => MapStep::Unmap { lpn },
+            _ => MapStep::InvalidateBlock { block: page % total_blocks },
+        }),
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dense_mapping_agrees_with_naive_oracle(
+        steps in arb_map_steps(100, 144, 12, 300),
+    ) {
+        // Dense store (flat p2l + per-block counters) vs the original
+        // HashMap store, driven through identical random write/trim/GC
+        // sequences: every query must agree at every step boundary.
+        let geo = Geometry::new(2, 2, 3, 2, 2, CellType::Tlc);
+        let blocks: Vec<_> = geo.blocks().collect();
+        let ppb = geo.pages_per_block() as usize;
+        prop_assert_eq!(blocks.len() * ppb, 144);
+        let mut dense = Mapping::new(100, &geo);
+        let mut naive = Mapping::new_naive(100);
+        for step in steps {
+            match step {
+                MapStep::Map { lpn, page } => {
+                    let block = blocks[page / ppb];
+                    let ppa = geo.page_at_offset(block, page % ppb);
+                    // A physical page is programmed once per erase cycle;
+                    // both stores must agree on whether this one is taken.
+                    prop_assert_eq!(dense.is_valid(ppa), naive.is_valid(ppa));
+                    if !dense.is_valid(ppa) {
+                        dense.map(lpn, ppa);
+                        naive.map(lpn, ppa);
+                    }
+                }
+                MapStep::Unmap { lpn } => {
+                    prop_assert_eq!(dense.unmap(lpn), naive.unmap(lpn));
+                }
+                MapStep::InvalidateBlock { block } => {
+                    dense.invalidate_block(blocks[block]);
+                    naive.invalidate_block(blocks[block]);
+                }
+            }
+            prop_assert_eq!(dense.valid_pages(), naive.valid_pages());
+        }
+        prop_assert!(dense.is_consistent());
+        prop_assert!(naive.is_consistent());
+        for lpn in 0..100 {
+            prop_assert_eq!(dense.lookup(lpn), naive.lookup(lpn), "lookup({}) differs", lpn);
+        }
+        for &b in &blocks {
+            prop_assert_eq!(dense.valid_in_block_count(b), naive.valid_in_block_count(b));
+            let d: Vec<_> = dense.valid_in_block(b).collect();
+            let n: Vec<_> = naive.valid_in_block(b).collect();
+            prop_assert_eq!(d, n, "valid_in_block({:?}) differs", b);
+        }
     }
 }
 
