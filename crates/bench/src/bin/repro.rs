@@ -67,9 +67,10 @@ fn parse_cli() -> Cli {
     if commands.is_empty() {
         commands.push("all".to_string());
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "all",
         "resilience",
+        "recovery",
         "queueing",
         "table1",
         "table2",
@@ -395,6 +396,43 @@ fn main() {
             }
             println!("== Resilience: fault-rate sweep (§VI-C) ==\n{}", t.render());
             t.write_csv(cli.out.join("resilience.csv")).expect("write csv");
+        }
+        if run_all || cmd == "recovery" {
+            eprintln!("[{:?}] running recovery ...", t0.elapsed());
+            // Same small geometry as the resilience sweep: the write stream
+            // cycles the device several times, so the crash lands in a
+            // steady state with sealed superblocks and live GC.
+            let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
+            let (writes, intervals): (usize, &[u64]) =
+                if cli.quick { (20_000, &[0, 64, 256]) } else { (60_000, &[0, 16, 64, 256, 1024]) };
+            let rows = exp::recovery_experiment(&geo, writes, 7, intervals);
+            let mut t = TextTable::new([
+                "Scheme",
+                "ckpt interval",
+                "crashed at req",
+                "scan pages",
+                "recovered",
+                "torn discarded",
+                "recovery_us",
+                "known blocks",
+                "durable",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.scheme.clone(),
+                    r.checkpoint_interval.to_string(),
+                    r.crashed_at_request.to_string(),
+                    r.scan_pages.to_string(),
+                    r.recovered_mappings.to_string(),
+                    r.torn_writes_discarded.to_string(),
+                    format!("{:.0}", r.recovery_time_us),
+                    r.known_blocks_after.to_string(),
+                    if r.durable_ok { "ok".into() } else { "LOST DATA".to_string() },
+                ]);
+            }
+            println!("== Crash recovery: checkpoint-interval sweep ==\n{}", t.render());
+            t.write_csv(cli.out.join("recovery.csv")).expect("write csv");
+            assert!(rows.iter().all(|r| r.durable_ok), "recovery must be exact");
         }
         if run_all || cmd == "queueing" {
             eprintln!("[{:?}] running queueing ...", t0.elapsed());

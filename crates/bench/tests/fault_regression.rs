@@ -95,6 +95,36 @@ fn disabled_faults_reproduce_prefault_goldens_bit_for_bit() {
 }
 
 #[test]
+fn spor_machinery_is_bit_identical_to_a_device_without_it() {
+    // OOB programs, seal records, the allocation journal and checkpoints
+    // are all free in simulated time and draw no RNG: a device with SPOR
+    // disabled must behave bit-for-bit like the default (enabled) device
+    // that produced `disabled_faults_reproduce_prefault_goldens_bit_for_bit`
+    // — which itself still matches goldens recorded before SPOR existed.
+    use ftl::{FtlConfig, OrganizationScheme, Ssd, Workload};
+    let run = |spor: bool| {
+        let mut config = FtlConfig::small_test();
+        config.scheme = OrganizationScheme::QstrMed { candidates: 4 };
+        config.spor.enabled = spor;
+        let mut dev = Ssd::new(config, 7).unwrap();
+        let info = dev.geometry_info();
+        let reqs = Workload::hot_cold_80_20().generate(&info, 20_000, 7 ^ 0xabc);
+        dev.run(&reqs).unwrap();
+        let s = dev.stats();
+        (
+            s.write_latency.mean_us().to_bits(),
+            s.write_latency.quantile_us(0.99).to_bits(),
+            s.waf().to_bits(),
+            s.busy_us.to_bits(),
+            s.gc_runs,
+            s.gc_relocations,
+            dev.distance_checks(),
+        )
+    };
+    assert_eq!(run(true), run(false), "SPOR bookkeeping must cost nothing");
+}
+
+#[test]
 fn two_percent_faults_degrade_gracefully_and_preserve_scheme_ordering() {
     let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
     let rows = resilience_experiment(&geo, 20_000, 7, &[0.0, 0.02]);

@@ -9,6 +9,7 @@ use crate::fault::{FaultConfig, FaultInjector};
 use crate::geometry::Geometry;
 use crate::ids::{BlockAddr, PageAddr, WlAddr};
 use crate::latency::LatencyModel;
+use crate::spor::{PageOob, SealRecord};
 use crate::Result;
 
 /// Outcome of a multi-plane command.
@@ -68,6 +69,10 @@ pub struct FlashArray {
     ber: BerModel,
     fault: FaultInjector,
     blocks: Vec<BlockState>,
+    /// Capacitor-backed metadata region holding per-superblock seal records;
+    /// survives sudden power loss (the flush is covered by the SSD's
+    /// power-loss-protection capacitors, as on real drives).
+    seals: Vec<SealRecord>,
 }
 
 impl FlashArray {
@@ -89,6 +94,7 @@ impl FlashArray {
             ber: BerModel::new(seed),
             fault: FaultInjector::new(fault, seed),
             blocks,
+            seals: Vec::new(),
         }
     }
 
@@ -195,6 +201,40 @@ impl FlashArray {
     /// program (the block then moves to [`BlockPhase::Failed`]: earlier
     /// word-lines stay readable but the block must be retired).
     pub fn program_wl(&mut self, wl: WlAddr, data: &[u64]) -> Result<f64> {
+        self.program_wl_inner(wl, data, None)
+    }
+
+    /// Like [`FlashArray::program_wl`] but also stores one [`PageOob`] spare
+    /// record per page, atomically with the payload. Latency, fault draws
+    /// and legality are bit-identical to the plain program — the spare bytes
+    /// ride along in the same program pulse on real NAND.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlashArray::program_wl`], plus
+    /// [`FlashError::DataLengthMismatch`] when `oob` and `data` differ in
+    /// length.
+    pub fn program_wl_with_oob(
+        &mut self,
+        wl: WlAddr,
+        data: &[u64],
+        oob: &[PageOob],
+    ) -> Result<f64> {
+        if oob.len() != data.len() {
+            return Err(FlashError::DataLengthMismatch {
+                expected: data.len() as u32,
+                got: oob.len(),
+            });
+        }
+        self.program_wl_inner(wl, data, Some(oob))
+    }
+
+    fn program_wl_inner(
+        &mut self,
+        wl: WlAddr,
+        data: &[u64],
+        oob: Option<&[PageOob]>,
+    ) -> Result<f64> {
         let idx = self.check_wl(wl)?;
         let geo = self.geometry().clone();
         let pe = self.blocks[idx].wear.pe_cycles();
@@ -203,8 +243,57 @@ impl FlashArray {
             self.blocks[idx].mark_failed();
             return Err(FlashError::ProgramFailed { wl });
         }
-        self.blocks[idx].program_wl(&geo, wl.block, wl.lwl, data)?;
+        self.blocks[idx].program_wl(&geo, wl.block, wl.lwl, data, oob)?;
         Ok(self.model.program_latency_us(wl, pe))
+    }
+
+    /// Marks a word-line torn by a sudden power loss mid-program: its pages
+    /// become unreadable and the block rejects further programs until
+    /// erased. The write pointer is not advanced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the word-line address is outside the geometry.
+    pub fn mark_torn(&mut self, wl: WlAddr) -> Result<()> {
+        let idx = self.check_wl(wl)?;
+        self.blocks[idx].mark_torn(wl.lwl);
+        Ok(())
+    }
+
+    /// The word-line of `addr` torn by a power loss, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] for addresses outside the
+    /// geometry.
+    pub fn torn_lwl(&self, addr: BlockAddr) -> Result<Option<crate::ids::LwlId>> {
+        Ok(self.blocks[self.check(addr)?].torn_lwl)
+    }
+
+    /// Reads one page's spare-area OOB metadata under the same readability
+    /// rules as [`FlashArray::read_page`]. Pages programmed without OOB
+    /// report the filler default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range, the page was never
+    /// programmed, or its word-line is torn.
+    pub fn read_oob(&self, page: PageAddr) -> Result<PageOob> {
+        let idx = self.check_wl(page.wl)?;
+        self.blocks[idx].read_oob(self.geometry(), page)
+    }
+
+    /// Appends a superblock seal record to the capacitor-backed metadata
+    /// region. Records survive power loss; a later record for the same
+    /// superblock id supersedes earlier ones.
+    pub fn persist_seal_record(&mut self, record: SealRecord) {
+        self.seals.push(record);
+    }
+
+    /// All persisted seal records, in append order.
+    #[must_use]
+    pub fn seal_records(&self) -> &[SealRecord] {
+        &self.seals
     }
 
     /// Reads one page, returning `(payload tag, read latency µs)`.
@@ -587,6 +676,78 @@ mod tests {
         // But the block takes no further programs or erases.
         assert!(a.program_wl(victim.wl(LwlId(1)), &[1, 2, 3]).is_err());
         assert!(a.erase_block(victim).is_err());
+    }
+
+    #[test]
+    fn oob_rides_along_with_programs_bit_identically() {
+        let mut plain = array();
+        let mut spare = array();
+        let b = blk(0, 7);
+        plain.erase_block(b).unwrap();
+        spare.erase_block(b).unwrap();
+        let wl = b.wl(LwlId(0));
+        let oob: Vec<PageOob> = (0..3)
+            .map(|i| PageOob { lpn: 100 + i, seq: 50 + i, sb_id: 9, member_slot: 2 })
+            .collect();
+        let t0 = plain.program_wl(wl, &[1, 2, 3]).unwrap();
+        let t1 = spare.program_wl_with_oob(wl, &[1, 2, 3], &oob).unwrap();
+        assert_eq!(t0.to_bits(), t1.to_bits(), "OOB must not change latency");
+        let page = wl.page(PageType::Csb);
+        assert_eq!(spare.read_oob(page).unwrap(), oob[1]);
+        // Pages programmed without OOB report the filler default.
+        assert!(plain.read_oob(page).unwrap().is_filler());
+        // Erase clears the spare area too.
+        spare.erase_block(b).unwrap();
+        assert!(spare.read_oob(page).is_err());
+    }
+
+    #[test]
+    fn oob_length_mismatch_is_rejected() {
+        let mut a = array();
+        let b = blk(0, 8);
+        a.erase_block(b).unwrap();
+        let err =
+            a.program_wl_with_oob(b.wl(LwlId(0)), &[1, 2, 3], &[PageOob::default()]).unwrap_err();
+        assert_eq!(err, FlashError::DataLengthMismatch { expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn torn_wl_is_unreadable_and_blocks_programs_until_erase() {
+        let mut a = array();
+        let b = blk(2, 5);
+        a.erase_block(b).unwrap();
+        a.program_wl(b.wl(LwlId(0)), &[1, 2, 3]).unwrap();
+        a.mark_torn(b.wl(LwlId(1))).unwrap();
+        assert_eq!(a.torn_lwl(b).unwrap(), Some(LwlId(1)));
+        // The completed WL stays readable; the torn one exposes nothing.
+        assert!(a.read_page(b.wl(LwlId(0)).page(PageType::Lsb)).is_ok());
+        let err = a.read_page(b.wl(LwlId(1)).page(PageType::Lsb)).unwrap_err();
+        assert!(matches!(err, FlashError::TornWordLine { .. }));
+        assert!(a.read_oob(b.wl(LwlId(1)).page(PageType::Lsb)).is_err());
+        // Programs are rejected until the block is erased.
+        let err = a.program_wl(b.wl(LwlId(1)), &[4, 5, 6]).unwrap_err();
+        assert!(matches!(err, FlashError::TornWordLine { .. }));
+        a.erase_block(b).unwrap();
+        assert_eq!(a.torn_lwl(b).unwrap(), None);
+        a.program_wl(b.wl(LwlId(0)), &[4, 5, 6]).unwrap();
+    }
+
+    #[test]
+    fn seal_records_persist_in_append_order() {
+        let mut a = array();
+        assert!(a.seal_records().is_empty());
+        a.persist_seal_record(crate::SealRecord {
+            sb_id: 0,
+            members: vec![blk(0, 0)],
+            summaries: vec![],
+        });
+        a.persist_seal_record(crate::SealRecord {
+            sb_id: 1,
+            members: vec![blk(1, 0)],
+            summaries: vec![],
+        });
+        assert_eq!(a.seal_records().len(), 2);
+        assert_eq!(a.seal_records()[1].sb_id, 1);
     }
 
     #[test]

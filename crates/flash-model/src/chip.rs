@@ -3,6 +3,7 @@
 use crate::error::FlashError;
 use crate::geometry::Geometry;
 use crate::ids::{BlockAddr, LwlId, PageAddr};
+use crate::spor::PageOob;
 use crate::wear::WearState;
 use crate::Result;
 
@@ -34,6 +35,13 @@ pub(crate) struct BlockState {
     /// Page payload tags, indexed by `lwl * pages_per_lwl + page_index`;
     /// allocated lazily on the first program.
     pages: Option<Box<[u64]>>,
+    /// Out-of-band spare-area metadata, same indexing and lifetime as
+    /// `pages`; allocated lazily on the first program that carries OOB.
+    oob: Option<Box<[PageOob]>>,
+    /// Word-line whose program was interrupted by a power loss. A torn
+    /// word-line exposes neither payload nor OOB, and the block takes no
+    /// further programs until erased.
+    pub torn_lwl: Option<LwlId>,
 }
 
 impl Default for BlockState {
@@ -43,6 +51,8 @@ impl Default for BlockState {
             next_lwl: LwlId(0),
             wear: WearState::new(),
             pages: None,
+            oob: None,
+            torn_lwl: None,
         }
     }
 }
@@ -53,6 +63,8 @@ impl BlockState {
         self.next_lwl = LwlId(0);
         self.wear.record_erase();
         self.pages = None;
+        self.oob = None;
+        self.torn_lwl = None;
     }
 
     /// Marks the block failed after a media fault, preserving already-
@@ -80,6 +92,9 @@ impl BlockState {
             BlockPhase::Failed => return Err(FlashError::ProgramFailed { wl: addr.wl(lwl) }),
             BlockPhase::Erased | BlockPhase::Open => {}
         }
+        if let Some(torn) = self.torn_lwl {
+            return Err(FlashError::TornWordLine { wl: addr.wl(torn) });
+        }
         if lwl != self.next_lwl {
             return Err(FlashError::ProgramOutOfOrder { addr, expected: self.next_lwl, got: lwl });
         }
@@ -92,6 +107,7 @@ impl BlockState {
         addr: BlockAddr,
         lwl: LwlId,
         data: &[u64],
+        oob: Option<&[PageOob]>,
     ) -> Result<()> {
         self.check_program(geo, addr, lwl, data)?;
         let per_wl = geo.pages_per_lwl();
@@ -99,6 +115,11 @@ impl BlockState {
         let pages = self.pages.get_or_insert_with(|| vec![0u64; total].into_boxed_slice());
         let base = (lwl.0 * per_wl) as usize;
         pages[base..base + per_wl as usize].copy_from_slice(data);
+        if let Some(oob) = oob {
+            let spare =
+                self.oob.get_or_insert_with(|| vec![PageOob::default(); total].into_boxed_slice());
+            spare[base..base + per_wl as usize].copy_from_slice(oob);
+        }
         self.next_lwl = LwlId(lwl.0 + 1);
         self.phase = if self.next_lwl.0 == geo.lwls_per_block() {
             BlockPhase::Full
@@ -108,8 +129,19 @@ impl BlockState {
         Ok(())
     }
 
-    pub(crate) fn read_page(&self, geo: &Geometry, page: PageAddr) -> Result<u64> {
+    /// Marks `lwl` as torn by a power loss mid-program. The word-line's
+    /// pages become unreadable and the block takes no further programs until
+    /// erased; the write pointer is *not* advanced (the program never
+    /// completed).
+    pub(crate) fn mark_torn(&mut self, lwl: LwlId) {
+        self.torn_lwl = Some(lwl);
+    }
+
+    fn check_readable(&self, page: PageAddr) -> Result<()> {
         let lwl = page.wl.lwl;
+        if self.torn_lwl == Some(lwl) {
+            return Err(FlashError::TornWordLine { wl: page.wl });
+        }
         let programmed = match self.phase {
             BlockPhase::Full => true,
             BlockPhase::Open | BlockPhase::Failed => lwl < self.next_lwl,
@@ -118,9 +150,23 @@ impl BlockState {
         if !programmed {
             return Err(FlashError::ReadUnwritten { page });
         }
+        Ok(())
+    }
+
+    pub(crate) fn read_page(&self, geo: &Geometry, page: PageAddr) -> Result<u64> {
+        self.check_readable(page)?;
         let pages = self.pages.as_ref().ok_or(FlashError::ReadUnwritten { page })?;
-        let idx = (lwl.0 * geo.pages_per_lwl() + page.page.index()) as usize;
+        let idx = (page.wl.lwl.0 * geo.pages_per_lwl() + page.page.index()) as usize;
         Ok(pages[idx])
+    }
+
+    /// Reads the spare-area OOB metadata of one page, under the same
+    /// readability rules as the payload. Pages programmed without OOB report
+    /// the filler default.
+    pub(crate) fn read_oob(&self, geo: &Geometry, page: PageAddr) -> Result<PageOob> {
+        self.check_readable(page)?;
+        let idx = (page.wl.lwl.0 * geo.pages_per_lwl() + page.page.index()) as usize;
+        Ok(self.oob.as_ref().map_or_else(PageOob::default, |o| o[idx]))
     }
 }
 
@@ -143,7 +189,7 @@ mod tests {
         let mut b = BlockState::default();
         let data = vec![1; g.pages_per_lwl() as usize];
         assert_eq!(
-            b.program_wl(&g, addr(), LwlId(0), &data),
+            b.program_wl(&g, addr(), LwlId(0), &data, None),
             Err(FlashError::ProgramOnUnerased { addr: addr() })
         );
     }
@@ -154,8 +200,8 @@ mod tests {
         let mut b = BlockState::default();
         b.erase();
         let data = vec![1; g.pages_per_lwl() as usize];
-        b.program_wl(&g, addr(), LwlId(0), &data).unwrap();
-        let err = b.program_wl(&g, addr(), LwlId(2), &data).unwrap_err();
+        b.program_wl(&g, addr(), LwlId(0), &data, None).unwrap();
+        let err = b.program_wl(&g, addr(), LwlId(2), &data, None).unwrap_err();
         assert!(matches!(
             err,
             FlashError::ProgramOutOfOrder { expected: LwlId(1), got: LwlId(2), .. }
@@ -169,10 +215,10 @@ mod tests {
         b.erase();
         let data = vec![1; g.pages_per_lwl() as usize];
         for lwl in g.lwls() {
-            b.program_wl(&g, addr(), lwl, &data).unwrap();
+            b.program_wl(&g, addr(), lwl, &data, None).unwrap();
         }
         assert_eq!(b.phase, BlockPhase::Full);
-        let err = b.program_wl(&g, addr(), LwlId(0), &data).unwrap_err();
+        let err = b.program_wl(&g, addr(), LwlId(0), &data, None).unwrap_err();
         assert!(matches!(err, FlashError::BlockFull { .. }));
     }
 
@@ -181,7 +227,7 @@ mod tests {
         let g = geo();
         let mut b = BlockState::default();
         b.erase();
-        b.program_wl(&g, addr(), LwlId(0), &[10, 20, 30]).unwrap();
+        b.program_wl(&g, addr(), LwlId(0), &[10, 20, 30], None).unwrap();
         let wl = addr().wl(LwlId(0));
         assert_eq!(b.read_page(&g, wl.page(PageType::Lsb)).unwrap(), 10);
         assert_eq!(b.read_page(&g, wl.page(PageType::Csb)).unwrap(), 20);
@@ -193,7 +239,7 @@ mod tests {
         let g = geo();
         let mut b = BlockState::default();
         b.erase();
-        b.program_wl(&g, addr(), LwlId(0), &[1, 2, 3]).unwrap();
+        b.program_wl(&g, addr(), LwlId(0), &[1, 2, 3], None).unwrap();
         let err = b.read_page(&g, addr().wl(LwlId(1)).page(PageType::Lsb)).unwrap_err();
         assert!(matches!(err, FlashError::ReadUnwritten { .. }));
     }
@@ -203,7 +249,7 @@ mod tests {
         let g = geo();
         let mut b = BlockState::default();
         b.erase();
-        b.program_wl(&g, addr(), LwlId(0), &[1, 2, 3]).unwrap();
+        b.program_wl(&g, addr(), LwlId(0), &[1, 2, 3], None).unwrap();
         b.erase();
         assert_eq!(b.wear.pe_cycles(), 2);
         assert_eq!(b.phase, BlockPhase::Erased);
@@ -215,7 +261,7 @@ mod tests {
         let g = geo();
         let mut b = BlockState::default();
         b.erase();
-        let err = b.program_wl(&g, addr(), LwlId(0), &[1, 2]).unwrap_err();
+        let err = b.program_wl(&g, addr(), LwlId(0), &[1, 2], None).unwrap_err();
         assert_eq!(err, FlashError::DataLengthMismatch { expected: 3, got: 2 });
     }
 }

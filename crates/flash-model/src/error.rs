@@ -67,6 +67,13 @@ pub enum FlashError {
         /// Block whose erase failed.
         addr: BlockAddr,
     },
+    /// The word-line program was interrupted by a sudden power loss: its
+    /// pages are unreadable and the block takes no further programs until
+    /// erased.
+    TornWordLine {
+        /// Word-line that was mid-program at power loss.
+        wl: WlAddr,
+    },
 }
 
 impl FlashError {
@@ -110,6 +117,9 @@ impl fmt::Display for FlashError {
             }
             FlashError::EraseFailed { addr } => {
                 write!(f, "erase failure on block {addr}: block must be retired")
+            }
+            FlashError::TornWordLine { wl } => {
+                write!(f, "word-line {wl} was torn by a sudden power loss")
             }
         }
     }

@@ -64,6 +64,7 @@ mod ids;
 mod latency;
 mod retry;
 mod sampler;
+mod spor;
 mod variation;
 mod wear;
 
@@ -81,6 +82,7 @@ pub use ids::{
 pub use latency::LatencyModel;
 pub use retry::RetryModel;
 pub use sampler::Sampler;
+pub use spor::{BlockSummaryRecord, PageOob, SealRecord};
 pub use variation::{StringMask, VariationConfig};
 pub use wear::WearState;
 

@@ -1,8 +1,10 @@
 //! Open (actively written) superblocks: staging buffer, super word-line
 //! write pointer and runtime gathering.
 
+use crate::error::FtlError;
+use crate::recovery::SporState;
 use crate::Result;
-use flash_model::{BlockAddr, FlashArray, MpOutcome, PageAddr, PageType, WlAddr};
+use flash_model::{BlockAddr, FlashArray, MpOutcome, PageAddr, PageOob, PageType, WlAddr};
 use pvcheck::gather::BlockGatherer;
 use pvcheck::BlockSummary;
 
@@ -40,6 +42,8 @@ pub(crate) struct SuperwlProgram {
 #[derive(Debug)]
 pub(crate) struct ActiveSuperblock {
     pub members: Vec<BlockAddr>,
+    /// Superblock identity stamped into every page's OOB metadata.
+    sb_id: u64,
     next_lwl: u32,
     lwls_per_block: u32,
     pages_per_lwl: u32,
@@ -50,6 +54,7 @@ pub(crate) struct ActiveSuperblock {
 impl ActiveSuperblock {
     pub(crate) fn new(
         members: Vec<BlockAddr>,
+        sb_id: u64,
         strings: u16,
         layers: u16,
         pages_per_lwl: u32,
@@ -57,12 +62,18 @@ impl ActiveSuperblock {
         let gatherers = members.iter().map(|&a| BlockGatherer::new(a, strings, layers)).collect();
         ActiveSuperblock {
             members,
+            sb_id,
             next_lwl: 0,
             lwls_per_block: u32::from(strings) * u32::from(layers),
             pages_per_lwl,
             staging: Vec::new(),
             gatherers,
         }
+    }
+
+    /// Superblock identity (matches the OOB `sb_id` of its pages).
+    pub(crate) fn sb_id(&self) -> u64 {
+        self.sb_id
     }
 
     /// Pages one super word-line holds.
@@ -127,11 +138,23 @@ impl ActiveSuperblock {
     /// The staging buffer must hold exactly one super word-line (use
     /// [`Self::pad`]).
     ///
+    /// When SPOR is on, every page carries OOB metadata (LPN, a sequence
+    /// number drawn here in assignment order, the superblock identity)
+    /// programmed atomically with the payload, and `spor`'s crash countdown
+    /// ticks once per member program. A firing crash marks the current
+    /// member's word-line *torn* — completed members of this super
+    /// word-line stay readable, the torn one exposes nothing — and returns
+    /// [`FtlError::PowerLoss`] before any assignment is applied.
+    ///
     /// # Errors
     ///
     /// Propagates non-media flash errors (which indicate FTL invariant
-    /// bugs).
-    pub(crate) fn program_superwl(&mut self, array: &mut FlashArray) -> Result<SuperwlProgram> {
+    /// bugs) and reports injected power loss as [`FtlError::PowerLoss`].
+    pub(crate) fn program_superwl(
+        &mut self,
+        array: &mut FlashArray,
+        spor: &mut SporState,
+    ) -> Result<SuperwlProgram> {
         debug_assert_eq!(self.staging.len(), self.superwl_pages());
         debug_assert!(!self.is_full());
         let ppl = self.pages_per_lwl as usize;
@@ -148,7 +171,30 @@ impl ActiveSuperblock {
         let mut survived = Vec::with_capacity(members);
         let mut failures = Vec::new();
         for (m, payload) in payloads.iter().enumerate() {
-            match array.program_wl(wls[m], payload) {
+            if spor.op_fires() {
+                // Power dies mid-program of this member: its word-line is
+                // torn. Earlier members already completed — their pages
+                // (with the newest sequence numbers) are readable, and
+                // recovery must discard them because the host write that
+                // spans this super word-line was never acknowledged.
+                array.mark_torn(wls[m])?;
+                return Err(FtlError::PowerLoss);
+            }
+            let programmed = if spor.enabled {
+                let oob: Vec<PageOob> = payload
+                    .iter()
+                    .map(|&lpn| PageOob {
+                        lpn,
+                        seq: if lpn == FILLER { 0 } else { spor.next_seq() },
+                        sb_id: self.sb_id,
+                        member_slot: m as u16,
+                    })
+                    .collect();
+                array.program_wl_with_oob(wls[m], payload, &oob)
+            } else {
+                array.program_wl(wls[m], payload)
+            };
+            match programmed {
                 Ok(t) => {
                     member_us.push(t);
                     survived.push(m);
@@ -218,7 +264,7 @@ mod tests {
         for &m in &members {
             array.erase_block(m).unwrap();
         }
-        let active = ActiveSuperblock::new(members, 4, 2, 3);
+        let active = ActiveSuperblock::new(members, 0, 4, 2, 3);
         (array, active)
     }
 
@@ -240,7 +286,7 @@ mod tests {
         }
         a.stage(FILLER);
         a.pad();
-        let result = a.program_superwl(&mut array).unwrap();
+        let result = a.program_superwl(&mut array, &mut SporState::disabled()).unwrap();
         assert_eq!(result.assignments.len(), 11);
         assert_eq!(result.outcome.member_us.len(), 4);
         assert!(result.outcome.extra_us >= 0.0);
@@ -268,12 +314,13 @@ mod tests {
                     continue 'seeds;
                 }
             }
-            let mut a = ActiveSuperblock::new(members.clone(), 4, 2, 3);
+            let mut a = ActiveSuperblock::new(members.clone(), 0, 4, 2, 3);
+            let mut spor = SporState::disabled();
             for wl in 0..8u64 {
                 for p in 0..a.superwl_pages() as u64 {
                     a.stage(wl * 100 + p);
                 }
-                let result = a.program_superwl(&mut array).unwrap();
+                let result = a.program_superwl(&mut array, &mut spor).unwrap();
                 if result.failures.is_empty() {
                     continue;
                 }
@@ -294,12 +341,13 @@ mod tests {
     #[test]
     fn full_superblock_finishes_with_summaries() {
         let (mut array, mut a) = setup();
+        let mut spor = SporState::disabled();
         let wls = 8; // 2 layers x 4 strings
         for wl in 0..wls as u64 {
             for p in 0..12 {
                 a.stage(wl * 12 + p);
             }
-            a.program_superwl(&mut array).unwrap();
+            a.program_superwl(&mut array, &mut spor).unwrap();
         }
         assert!(a.is_full());
         let summaries = a.finish();
@@ -307,6 +355,75 @@ mod tests {
         for s in &summaries {
             assert_eq!(s.eigen.len(), 8);
             assert!(s.pgm_sum_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn spor_programs_carry_oob_identity() {
+        use crate::recovery::SporConfig;
+        let config =
+            FlashConfig::builder().chips(4).blocks_per_plane(4).pwl_layers(2).strings(4).build();
+        let mut array = FlashArray::new(config, 1);
+        let members: Vec<BlockAddr> =
+            (0..4).map(|c| BlockAddr::new(ChipId(c), PlaneId(0), BlockId(0))).collect();
+        for &m in &members {
+            array.erase_block(m).unwrap();
+        }
+        let mut a = ActiveSuperblock::new(members, 7, 4, 2, 3);
+        let mut spor =
+            SporState::new(&SporConfig { enabled: true, checkpoint_interval: 0, crash: None });
+        for i in 0..11 {
+            a.stage(i);
+        }
+        a.stage(FILLER);
+        let result = a.program_superwl(&mut array, &mut spor).unwrap();
+        let mut seen_seqs = Vec::new();
+        for &(lpn, ppa) in &result.assignments {
+            let oob = array.read_oob(ppa).unwrap();
+            assert_eq!(oob.lpn, lpn);
+            assert_eq!(oob.sb_id, 7);
+            assert!(oob.seq >= 1);
+            assert_eq!(usize::from(oob.member_slot), usize::from(ppa.wl.block.chip.0));
+            seen_seqs.push(oob.seq);
+        }
+        // Assignment order and sequence order agree: latest-wins recovery
+        // resolves duplicates exactly like the RAM mapping does.
+        let mut sorted = seen_seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen_seqs, sorted);
+        // The filler page's OOB reports filler.
+        let filler_page = a.members[3].wl(flash_model::LwlId(0)).page(PageType::Msb);
+        let oob = array.read_oob(filler_page).unwrap();
+        assert!(oob.is_filler());
+        assert_eq!(oob.seq, 0);
+    }
+
+    #[test]
+    fn crash_mid_superwl_tears_the_interrupted_member() {
+        use crate::recovery::{CrashPoint, SporConfig};
+        let (mut array, mut a) = setup();
+        // A 1-op fuse always fires on the first member program.
+        let mut spor = SporState::new(&SporConfig {
+            enabled: true,
+            checkpoint_interval: 0,
+            crash: Some(CrashPoint { seed: 0, max_ops: 1 }),
+        });
+        for i in 0..12 {
+            a.stage(i);
+        }
+        let err = a.program_superwl(&mut array, &mut spor).unwrap_err();
+        assert!(matches!(err, FtlError::PowerLoss));
+        assert!(spor.crashed);
+        // Member 0 was interrupted: its word-line is torn and unreadable,
+        // and the block takes no further programs until erased.
+        let torn = array.torn_lwl(a.members[0]).unwrap();
+        assert_eq!(torn, Some(flash_model::LwlId(0)));
+        let page = a.members[0].wl(flash_model::LwlId(0)).page(PageType::Lsb);
+        assert!(array.read_page(page).is_err());
+        // Later members were never reached.
+        for &m in &a.members[1..] {
+            assert_eq!(array.torn_lwl(m).unwrap(), None);
+            assert!(array.read_page(m.wl(flash_model::LwlId(0)).page(PageType::Lsb)).is_err());
         }
     }
 

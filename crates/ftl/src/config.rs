@@ -1,6 +1,7 @@
 //! FTL configuration.
 
 use crate::gc::GcPolicy;
+use crate::recovery::SporConfig;
 use crate::timing::QueueModel;
 use flash_model::{FaultConfig, FlashConfig, RetryModel};
 
@@ -73,6 +74,10 @@ pub struct FtlConfig {
     /// Read-retry/ECC model consulted by the read path when fault injection
     /// is enabled (uncorrectable pages trigger refresh relocation).
     pub retry: RetryModel,
+    /// Sudden-power-off recovery: OOB metadata, checkpoints and optional
+    /// crash injection. Enabled by default; it costs zero simulated time
+    /// and zero RNG draws, so every result stays bit-identical.
+    pub spor: SporConfig,
 }
 
 impl FtlConfig {
@@ -100,6 +105,7 @@ impl FtlConfig {
             queue_model: QueueModel::Single,
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
+            spor: SporConfig::default(),
         }
     }
 
@@ -136,6 +142,9 @@ impl FtlConfig {
         if self.fault.program_fail_prob > 0.2 || self.fault.erase_fail_prob > 0.2 {
             return Err("fault rates above 20% starve the free pools; lower them".to_string());
         }
+        if self.spor.crash.is_some() && !self.spor.enabled {
+            return Err("crash injection requires spor.enabled".to_string());
+        }
         let min_blocks = (self.gc_high_watermark + 2) as u32;
         if self.flash.geometry.blocks_per_plane() < min_blocks {
             return Err(format!(
@@ -163,6 +172,7 @@ impl Default for FtlConfig {
             queue_model: QueueModel::Single,
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
+            spor: SporConfig::default(),
         }
     }
 }
@@ -203,6 +213,17 @@ mod tests {
         assert!(cfg.validate().is_err(), "50% fault rate is unserviceable");
         let mut cfg = FtlConfig::small_test();
         cfg.fault = FaultConfig::with_rate(0.02);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn crash_without_spor_rejected() {
+        use crate::recovery::CrashPoint;
+        let mut cfg = FtlConfig::small_test();
+        cfg.spor.enabled = false;
+        cfg.spor.crash = Some(CrashPoint::from_seed(1, 100));
+        assert!(cfg.validate().is_err());
+        cfg.spor.enabled = true;
         cfg.validate().unwrap();
     }
 

@@ -21,6 +21,10 @@ pub enum FtlError {
     /// The device ran out of free blocks even after garbage collection —
     /// the workload overcommitted the physical capacity.
     OutOfSpace,
+    /// Sudden power loss (injected via [`crate::CrashPoint`]): the device
+    /// halted mid-operation and rejects further requests until
+    /// [`crate::Ssd::recover`] is called.
+    PowerLoss,
     /// An underlying flash operation failed (an internal invariant bug).
     Flash(flash_model::FlashError),
     /// A pvcheck operation failed (an internal invariant bug).
@@ -35,6 +39,9 @@ impl fmt::Display for FtlError {
                 write!(f, "logical page {lpn} beyond capacity {capacity}")
             }
             FtlError::OutOfSpace => write!(f, "no free blocks left after garbage collection"),
+            FtlError::PowerLoss => {
+                write!(f, "sudden power loss: the device halted; call recover()")
+            }
             FtlError::Flash(e) => write!(f, "flash operation failed: {e}"),
             FtlError::Pv(e) => write!(f, "gather/assembly failed: {e}"),
         }

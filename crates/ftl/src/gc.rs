@@ -18,6 +18,8 @@ pub enum GcPolicy {
 /// A fully written superblock awaiting garbage collection.
 #[derive(Debug, Clone)]
 pub(crate) struct SealedSuperblock {
+    /// Superblock identity (matches the OOB `sb_id` of its pages).
+    pub sb_id: u64,
     pub members: Vec<BlockAddr>,
     /// Monotone sequence number at sealing time (a proxy for age).
     pub sealed_at: u64,
@@ -86,7 +88,7 @@ mod tests {
     }
 
     fn sealed(b: u32, sealed_at: u64) -> SealedSuperblock {
-        SealedSuperblock { members: vec![blk(0, b), blk(1, b)], sealed_at }
+        SealedSuperblock { sb_id: u64::from(b), members: vec![blk(0, b), blk(1, b)], sealed_at }
     }
 
     #[test]

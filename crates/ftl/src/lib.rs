@@ -41,6 +41,7 @@ mod error;
 mod gc;
 mod manager;
 mod mapping;
+mod recovery;
 mod request;
 mod stats;
 mod timing;
@@ -54,11 +55,12 @@ pub use error::FtlError;
 pub use gc::GcPolicy;
 pub use manager::BlockManager;
 pub use mapping::Mapping;
+pub use recovery::{CrashPoint, RecoveryReport, SporConfig};
 pub use request::{IoOp, IoRequest};
 pub use stats::{LatencyHistogram, SsdStats};
 pub use timing::QueueModel;
 pub use wear_level::WearTracker;
-pub use workload::{poisson_arrivals, Workload};
+pub use workload::{mean_interarrival_us, poisson_arrivals, Workload};
 
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, FtlError>;

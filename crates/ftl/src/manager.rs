@@ -140,6 +140,20 @@ impl BlockManager {
         self.retired.len()
     }
 
+    /// Claims a *specific* block out of the free pools (recovery rebuilding
+    /// superblock membership from scanned OOB metadata). Returns whether
+    /// the block was found free. Must run before any summaries are promoted
+    /// into the QSTR-MED lists — on a freshly built manager every free
+    /// block still sits in the unknown pools.
+    pub fn claim(&mut self, addr: BlockAddr) -> bool {
+        let pool = self.pool_of(addr);
+        if let Some(i) = self.unknown[pool].iter().position(|&a| a == addr) {
+            self.unknown[pool].remove(i);
+            return true;
+        }
+        false
+    }
+
     /// Claims one free block from pool `p` to replace a failed superblock
     /// member (re-assembly from the pool). Prefers unobserved blocks;
     /// under QSTR-MED falls back to the fastest characterized one.
@@ -315,6 +329,22 @@ mod tests {
         }
         m.retire(dead); // idempotent
         assert_eq!(m.retired_count(), 1);
+    }
+
+    #[test]
+    fn claim_removes_a_specific_block() {
+        let mut m = BlockManager::new(&geo(), OrganizationScheme::Sequential, 0);
+        let target = BlockAddr::new(
+            flash_model::ChipId(2),
+            flash_model::PlaneId(0),
+            flash_model::BlockId(5),
+        );
+        let before = m.free_in_pool(m.pool_of(target));
+        assert!(m.claim(target));
+        assert_eq!(m.free_in_pool(m.pool_of(target)), before - 1);
+        assert!(!m.claim(target), "already claimed");
+        m.free(target, None);
+        assert!(m.claim(target), "free makes it claimable again");
     }
 
     #[test]

@@ -141,6 +141,15 @@ pub struct SsdStats {
     pub write_latency: LatencyHistogram,
     /// Host read latency distribution.
     pub read_latency: LatencyHistogram,
+    /// Physical pages read by the post-crash OOB recovery scan.
+    pub recovery_scan_pages: u64,
+    /// Logical mappings rebuilt by recovery.
+    pub recovered_mappings: u64,
+    /// Readable pages of torn super word-lines discarded by recovery
+    /// (their host writes were never acknowledged).
+    pub torn_writes_discarded: u64,
+    /// Simulated time the recovery scan took, µs.
+    pub recovery_time_us: f64,
 }
 
 impl SsdStats {
@@ -175,7 +184,9 @@ impl SsdStats {
     /// makespan, in `[0, 1]` per entry. Empty for `Single` runs.
     #[must_use]
     pub fn chip_utilization(&self) -> Vec<f64> {
-        if self.makespan_us <= 0.0 {
+        // A NaN makespan (a poisoned clock) must report zero utilization,
+        // not NaN ratios — `<= 0.0` alone lets NaN through.
+        if self.makespan_us.is_nan() || self.makespan_us <= 0.0 {
             return vec![0.0; self.chip_busy_us.len()];
         }
         self.chip_busy_us.iter().map(|&b| b / self.makespan_us).collect()
@@ -267,6 +278,19 @@ mod tests {
     #[test]
     fn waf_of_idle_device_is_zero() {
         assert_eq!(SsdStats::default().waf(), 0.0);
+    }
+
+    #[test]
+    fn chip_utilization_of_empty_run_is_finite() {
+        // A run that never executed has zero makespan; a poisoned clock
+        // could even leave NaN. Either way the ratios must come back as
+        // plain zeros, never NaN or infinity.
+        let mut stats = SsdStats { chip_busy_us: vec![10.0, 20.0], ..SsdStats::default() };
+        assert_eq!(stats.chip_utilization(), vec![0.0, 0.0]);
+        stats.makespan_us = f64::NAN;
+        let util = stats.chip_utilization();
+        assert_eq!(util, vec![0.0, 0.0]);
+        assert!(util.iter().all(|u| u.is_finite()));
     }
 
     #[test]

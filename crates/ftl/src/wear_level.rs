@@ -34,6 +34,17 @@ impl WearTracker {
         *self.erases.entry(addr).or_insert(0) += 1;
     }
 
+    /// Overwrites the erase counter of one block (recovery re-seeding the
+    /// tracker from the media's P/E cycle counts); a zero count removes the
+    /// entry so `spread` keeps ignoring never-erased blocks.
+    pub fn set_erases(&mut self, addr: BlockAddr, count: u32) {
+        if count == 0 {
+            self.erases.remove(&addr);
+        } else {
+            self.erases.insert(addr, count);
+        }
+    }
+
     /// Erase count of one block (0 if never erased).
     #[must_use]
     pub fn erases(&self, addr: BlockAddr) -> u32 {
@@ -124,6 +135,19 @@ mod tests {
         w.record_erase(blk(1));
         assert_eq!(w.coldest_candidate(&[blk(0), blk(1), blk(2)]), Some(blk(2)));
         assert_eq!(w.coldest_candidate(&[]), None);
+    }
+
+    #[test]
+    fn set_erases_overwrites_and_zero_clears() {
+        let mut w = WearTracker::new(10);
+        w.record_erase(blk(0));
+        w.set_erases(blk(0), 7);
+        assert_eq!(w.erases(blk(0)), 7);
+        w.set_erases(blk(1), 3);
+        assert_eq!(w.spread(), (3, 7));
+        w.set_erases(blk(1), 0);
+        assert_eq!(w.erases(blk(1)), 0);
+        assert_eq!(w.spread(), (7, 7), "cleared block leaves the spread");
     }
 
     #[test]

@@ -143,6 +143,17 @@ pub fn poisson_arrivals(
         .collect()
 }
 
+/// Observed mean inter-arrival time of a timed request stream, in µs.
+///
+/// Returns `None` for an empty stream: an empty workload has no arrival
+/// spacing, and callers that divided by `timed.last().unwrap()` panicked
+/// on it.
+#[must_use]
+pub fn mean_interarrival_us(timed: &[(f64, IoRequest)]) -> Option<f64> {
+    let (last_arrival, _) = timed.last()?;
+    Some(last_arrival / timed.len() as f64)
+}
+
 fn span_pages(capacity: u64, span: f64) -> u64 {
     ((capacity as f64 * span.clamp(0.0, 1.0)) as u64).clamp(1, capacity)
 }
@@ -220,8 +231,18 @@ mod tests {
         let reqs: Vec<IoRequest> = (0..5000).map(IoRequest::write).collect();
         let timed = poisson_arrivals(&reqs, 100.0, 3);
         assert!(timed.windows(2).all(|w| w[0].0 <= w[1].0));
-        let mean = timed.last().unwrap().0 / 5000.0;
+        let mean = mean_interarrival_us(&timed).unwrap();
         assert!((mean - 100.0).abs() < 10.0, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn empty_workload_yields_no_arrivals_and_no_mean() {
+        // Regression: the mean used to be computed as
+        // `timed.last().unwrap().0 / n`, which panics on an empty stream.
+        let timed = poisson_arrivals(&[], 100.0, 3);
+        assert!(timed.is_empty());
+        assert_eq!(mean_interarrival_us(&timed), None);
+        assert!(mean_interarrival_us(&poisson_arrivals(&[IoRequest::write(0)], 50.0, 1)).is_some());
     }
 
     #[test]
