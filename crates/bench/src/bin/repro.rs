@@ -67,11 +67,12 @@ fn parse_cli() -> Cli {
     if commands.is_empty() {
         commands.push("all".to_string());
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "all",
         "resilience",
         "recovery",
         "queueing",
+        "tenants",
         "table1",
         "table2",
         "table5",
@@ -467,6 +468,65 @@ fn main() {
             }
             println!("== Queueing: timing model sweep (scheme x queue model) ==\n{}", t.render());
             t.write_csv(cli.out.join("queueing.csv")).expect("write csv");
+        }
+        if run_all || cmd == "tenants" {
+            eprintln!("[{:?}] running tenants ...", t0.elapsed());
+            // Small geometry (as in the resilience sweep); the write
+            // volume stays below the GC watermarks so tail latency
+            // reflects where each tenant's programs land, not collection
+            // luck — see `tenants_experiment` for why.
+            let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
+            let per_tenant = if cli.quick { 1_200 } else { 2_000 };
+            let rows = exp::tenants_experiment(&geo, per_tenant, 7, 2500.0);
+            let mut t = TextTable::new([
+                "Scheme",
+                "Arb",
+                "Tenant",
+                "QoS",
+                "weight",
+                "completed",
+                "write p50",
+                "write p99",
+                "read p99",
+                "mean wait",
+                "peak depth",
+                "backpressured",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.scheme.clone(),
+                    r.arbitration.clone(),
+                    r.tenant.clone(),
+                    r.qos.clone(),
+                    r.weight.to_string(),
+                    r.completed.to_string(),
+                    us(r.write_p50_us),
+                    us(r.write_p99_us),
+                    us(r.read_p99_us),
+                    us(r.mean_queue_wait_us),
+                    r.depth_high_water.to_string(),
+                    r.backpressured.to_string(),
+                ]);
+            }
+            println!("== Multi-tenant QoS: tenant mix x arbitration x scheme ==\n{}", t.render());
+            t.write_csv(cli.out.join("tenants.csv")).expect("write csv");
+            // Headline: QSTR-MED's fast/slow split should widen the p99
+            // write-latency gap between the background and latency-critical
+            // tenants beyond what PV-blind sequential assembly shows.
+            let p99 = |scheme: &str, tenant: &str| -> f64 {
+                rows.iter()
+                    .filter(|r| r.scheme.starts_with(scheme) && r.tenant == tenant)
+                    .map(|r| r.write_p99_us)
+                    .sum::<f64>()
+                    / 2.0
+            };
+            let seq_gap = p99("Sequential", "bg") - p99("Sequential", "lc");
+            let qstr_gap = p99("QstrMed", "bg") - p99("QstrMed", "lc");
+            println!(
+                "bg-vs-lc write p99 gap (mean over arbitrations): sequential {} vs QSTR-MED {}\n",
+                us(seq_gap),
+                us(qstr_gap)
+            );
         }
         if run_all || cmd == "ssd" {
             eprintln!("[{:?}] running ssd ...", t0.elapsed());

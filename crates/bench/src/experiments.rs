@@ -6,7 +6,10 @@ use crate::runner::{
     PoolCache, SchemeKind, SchemeStats,
 };
 use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
-use ftl::{poisson_arrivals, FtlConfig, IoOp, OrganizationScheme, QueueModel, Ssd, Workload};
+use ftl::{
+    poisson_arrivals, FtlConfig, IoOp, OrganizationScheme, QosClass, QueueModel, Ssd, Workload,
+};
+use host::{Arbitration, HostFrontend, TenantSpec};
 use pvcheck::assembly::Assembler;
 use pvcheck::{overhead, Characterizer};
 
@@ -476,6 +479,165 @@ pub fn queueing_experiment(
                 mean_chip_utilization: mean,
                 peak_chip_utilization: peak,
             });
+        }
+    }
+    rows
+}
+
+/// One cell of the multi-tenant QoS sweep: one tenant's view of one
+/// (scheme, arbitration) configuration.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// Organization scheme name.
+    pub scheme: String,
+    /// Arbitration mechanism (`rr` or `wrr`).
+    pub arbitration: String,
+    /// Tenant name.
+    pub tenant: String,
+    /// QoS class label.
+    pub qos: String,
+    /// Weighted-round-robin weight.
+    pub weight: u32,
+    /// Commands completed by this tenant.
+    pub completed: u64,
+    /// Median end-to-end write latency, µs.
+    pub write_p50_us: f64,
+    /// 99th-percentile end-to-end write latency, µs.
+    pub write_p99_us: f64,
+    /// 99th-percentile end-to-end read latency, µs.
+    pub read_p99_us: f64,
+    /// Mean time from arrival to dispatch, µs.
+    pub mean_queue_wait_us: f64,
+    /// Highest submission-queue occupancy observed.
+    pub depth_high_water: usize,
+    /// Arrivals that found the submission queue full.
+    pub backpressured: u64,
+}
+
+/// Multi-tenant QoS sweep: tenant mix × arbitration × organization scheme.
+///
+/// Three tenants with disjoint LPN ranges share one device through the
+/// multi-queue frontend: a latency-critical tenant (weight 4, shallow
+/// queue), a standard tenant (weight 2) and a background writer (weight 1,
+/// deep queue). Under function-based placement the latency-critical and
+/// standard tenants write into *fast* superblocks while the background
+/// tenant shares the *slow* end with GC — so QSTR-MED's fast/slow pool
+/// split should widen the p99 write-latency gap between the
+/// latency-critical and background tenants compared to sequential
+/// assembly, which picks members blind to process variation.
+///
+/// The write volume is sized to stay below the GC watermarks: foreground
+/// collection bursts cost tens of milliseconds, land on every tenant alike
+/// and would bury the pool split's microsecond-scale placement signal in
+/// collection luck. Each (scheme, arbitration) cell runs five
+/// independently seeded replicates (fresh device, fresh arrival jitter)
+/// and reports replicate-mean latencies, the same averaging the pool
+/// characterization layer uses for its figures.
+///
+/// `writes_per_tenant` requests per tenant arrive Poisson-paced with a
+/// per-tenant mean gap of `3 * mean_gap_us` (aggregate load matches a
+/// single stream at `mean_gap_us`).
+///
+/// # Panics
+///
+/// Panics if the simulated device rejects the workload (an internal bug).
+#[must_use]
+pub fn tenants_experiment(
+    geometry: &Geometry,
+    writes_per_tenant: usize,
+    seed: u64,
+    mean_gap_us: f64,
+) -> Vec<TenantRow> {
+    const REPLICATES: u64 = 5;
+    let schemes = [OrganizationScheme::Sequential, OrganizationScheme::QstrMed { candidates: 4 }];
+    let arbitrations = [Arbitration::RoundRobin, Arbitration::WeightedRoundRobin];
+    let mut rows = Vec::new();
+    for &scheme in &schemes {
+        for &arbitration in &arbitrations {
+            let mut cell: Vec<TenantRow> = Vec::new();
+            for rep in 0..REPLICATES {
+                let rep_seed = seed.wrapping_add(rep.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let config = FtlConfig {
+                    flash: FlashConfig {
+                        geometry: geometry.clone(),
+                        variation: flash_model::VariationConfig::default(),
+                    },
+                    scheme,
+                    queue_model: QueueModel::PerChip,
+                    // Collect in arrival gaps if the workload ever does
+                    // outgrow the free pool.
+                    idle_gc: true,
+                    ..FtlConfig::small_test()
+                };
+                let ssd = Ssd::new(config, rep_seed).expect("experiment config is valid");
+                let info = ssd.geometry_info();
+                let span = info.logical_pages / 3;
+                let specs = vec![
+                    TenantSpec::new("lc", QosClass::LatencyCritical).weight(4).queue_depth(8),
+                    TenantSpec::new("std", QosClass::Standard).weight(2).queue_depth(16),
+                    TenantSpec::new("bg", QosClass::Background).weight(1).queue_depth(32),
+                ];
+                let weights: Vec<u32> = specs.iter().map(|s| s.weight).collect();
+                let mut front = HostFrontend::new(ssd, specs, arbitration);
+                for tenant in 0..3u64 {
+                    // Each tenant hammers its own third of the LPN space;
+                    // the foreground tenants fold reads in.
+                    let mut reqs = Workload::random_write(0.3).generate(
+                        &info,
+                        writes_per_tenant,
+                        rep_seed ^ (tenant * 0x9e37_79b9),
+                    );
+                    for (i, r) in reqs.iter_mut().enumerate() {
+                        r.lpn = (r.lpn + tenant * span).min(info.logical_pages - 1);
+                        if tenant < 2 && i % 5 == 3 {
+                            r.op = IoOp::Read;
+                        }
+                    }
+                    let timed =
+                        poisson_arrivals(&reqs, mean_gap_us * 3.0, rep_seed ^ (0x51 + tenant));
+                    front.submit(tenant as usize, &timed);
+                }
+                front.run().expect("workload fits the device");
+                for (t, &weight) in front.all_stats().iter().zip(&weights) {
+                    cell.push(TenantRow {
+                        scheme: format!("{scheme:?}"),
+                        arbitration: arbitration.label().to_string(),
+                        tenant: t.name.clone(),
+                        qos: t.qos.label().to_string(),
+                        weight,
+                        completed: t.completed,
+                        write_p50_us: t.write_latency.quantile_us(0.5),
+                        write_p99_us: t.write_latency.quantile_us(0.99),
+                        read_p99_us: t.read_latency.quantile_us(0.99),
+                        mean_queue_wait_us: t.mean_queue_wait_us(),
+                        depth_high_water: t.depth_high_water,
+                        backpressured: t.backpressured,
+                    });
+                }
+            }
+            // Fold the replicates: latencies and waits average, queue
+            // occupancy takes the worst replicate, counts accumulate.
+            let tenants = cell.len() / REPLICATES as usize;
+            for t in 0..tenants {
+                let reps: Vec<&TenantRow> = cell.iter().skip(t).step_by(tenants).collect();
+                let n = reps.len() as f64;
+                let mean = |f: fn(&TenantRow) -> f64| reps.iter().map(|r| f(r)).sum::<f64>() / n;
+                let first = reps[0];
+                rows.push(TenantRow {
+                    scheme: first.scheme.clone(),
+                    arbitration: first.arbitration.clone(),
+                    tenant: first.tenant.clone(),
+                    qos: first.qos.clone(),
+                    weight: first.weight,
+                    completed: reps.iter().map(|r| r.completed).sum(),
+                    write_p50_us: mean(|r| r.write_p50_us),
+                    write_p99_us: mean(|r| r.write_p99_us),
+                    read_p99_us: mean(|r| r.read_p99_us),
+                    mean_queue_wait_us: mean(|r| r.mean_queue_wait_us),
+                    depth_high_water: reps.iter().map(|r| r.depth_high_water).max().unwrap_or(0),
+                    backpressured: reps.iter().map(|r| r.backpressured).sum(),
+                });
+            }
         }
     }
     rows

@@ -1,6 +1,8 @@
 //! Open (actively written) superblocks: staging buffer, super word-line
-//! write pointer and runtime gathering.
+//! write pointer and runtime gathering — plus the placement hook that maps
+//! a write's purpose (tenant QoS class or GC) to its open-superblock slot.
 
+use crate::config::{PlacementPolicy, QosClass};
 use crate::error::FtlError;
 use crate::recovery::SporState;
 use crate::Result;
@@ -10,6 +12,103 @@ use pvcheck::BlockSummary;
 
 /// Payload tag marking a padding page that stores no logical data.
 pub(crate) const FILLER: u64 = u64::MAX;
+
+/// Who generated a write — the placement key. Host writes carry their
+/// tenant's QoS class; GC relocations form their own purpose so they stay
+/// pinned to the slowest pool (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Purpose {
+    /// A host write of the given latency class.
+    Host(QosClass),
+    /// A garbage-collection (or refresh) relocation.
+    Gc,
+}
+
+/// Every purpose, in flush/checkpoint iteration order. The order is
+/// append-only: `[standard-host, gc]` lead so a device that never uses the
+/// QoS slots iterates exactly the pre-QoS `[host_active, gc_active]` pair
+/// and stays bit-identical to it.
+pub(crate) const PURPOSES: [Purpose; 4] = [
+    Purpose::Host(QosClass::Standard),
+    Purpose::Gc,
+    Purpose::Host(QosClass::LatencyCritical),
+    Purpose::Host(QosClass::Background),
+];
+
+/// The open-superblock slots, one per placement target.
+///
+/// This is the per-tenant half of the placement hook: [`ActiveSlots::slot`]
+/// picks which open superblock a write streams into (so tenants of
+/// different classes never interleave pages in one super word-line), while
+/// [`crate::manager::speed_class_for`] picks which end of the
+/// process-variation ranking that superblock is assembled from.
+#[derive(Debug, Default)]
+pub(crate) struct ActiveSlots {
+    /// `Standard` host writes — and, under [`PlacementPolicy::Unified`],
+    /// every write (the pre-QoS `host_active`).
+    host: Option<ActiveSuperblock>,
+    /// GC relocations under function-based placement.
+    gc: Option<ActiveSuperblock>,
+    /// `LatencyCritical` host writes under function-based placement.
+    latency_critical: Option<ActiveSuperblock>,
+    /// `Background` host writes under function-based placement.
+    background: Option<ActiveSuperblock>,
+}
+
+impl ActiveSlots {
+    /// The slot a write of `purpose` streams into under `placement`.
+    pub(crate) fn slot(
+        &mut self,
+        placement: PlacementPolicy,
+        purpose: Purpose,
+    ) -> &mut Option<ActiveSuperblock> {
+        match (placement, purpose) {
+            (PlacementPolicy::Unified, _) | (_, Purpose::Host(QosClass::Standard)) => {
+                &mut self.host
+            }
+            (_, Purpose::Gc) => &mut self.gc,
+            (_, Purpose::Host(QosClass::LatencyCritical)) => &mut self.latency_critical,
+            (_, Purpose::Host(QosClass::Background)) => &mut self.background,
+        }
+    }
+
+    /// Open superblocks in the fixed [`PURPOSES`] order (checkpoints
+    /// iterate this).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &ActiveSuperblock> {
+        [&self.host, &self.gc, &self.latency_critical, &self.background].into_iter().flatten()
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut ActiveSuperblock> {
+        [&mut self.host, &mut self.gc, &mut self.latency_critical, &mut self.background]
+            .into_iter()
+            .flatten()
+    }
+
+    /// Whether any slot holds a staged (not yet programmed) copy of `lpn`.
+    pub(crate) fn any_staged(&self, lpn: u64) -> bool {
+        self.iter().any(|a| a.has_staged(lpn))
+    }
+
+    /// Replaces staged copies of `lpn` with filler in every slot (trim).
+    pub(crate) fn discard_staged(&mut self, lpn: u64) {
+        for a in self.iter_mut() {
+            a.discard_staged(lpn);
+        }
+    }
+
+    /// Drops every open superblock (RAM loss on power failure).
+    pub(crate) fn clear(&mut self) {
+        self.host = None;
+        self.gc = None;
+        self.latency_critical = None;
+        self.background = None;
+    }
+
+    /// Whether no superblock is open in any slot.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
 
 /// A superblock member whose word-line program reported status fail.
 #[derive(Debug)]

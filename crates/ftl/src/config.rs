@@ -31,6 +31,57 @@ pub enum PlacementPolicy {
     FunctionBased,
 }
 
+/// Latency class of a host write (multi-tenant QoS).
+///
+/// Generalizes the paper's host/GC allocation split (§V-D): instead of one
+/// "host" class steered to fast superblocks, each tenant's class picks the
+/// end of the process-variation ranking its open superblock is assembled
+/// from. `LatencyCritical` and `Standard` writes land on fast-ranked
+/// superblocks (each in its own open superblock); `Background` writes share
+/// the slow end of the ranking with garbage-collection relocations, which
+/// stay pinned to the slowest pool as in the paper. Under
+/// [`PlacementPolicy::Unified`] the class is ignored and every write shares
+/// one open superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QosClass {
+    /// Tail-latency-sensitive tenant: fast superblocks, its own open
+    /// superblock so no other stream's programs sit in front of it.
+    LatencyCritical,
+    /// The default class — byte-identical to the classic host write path
+    /// ([`crate::Ssd::write`] uses it).
+    #[default]
+    Standard,
+    /// Batch/throughput tenant: slow superblocks, sharing the slow end of
+    /// the ranking with GC relocations.
+    Background,
+}
+
+impl QosClass {
+    /// Every class, in the order used by per-class counters.
+    pub const ALL: [QosClass; 3] =
+        [QosClass::LatencyCritical, QosClass::Standard, QosClass::Background];
+
+    /// Stable index into per-class counter arrays (matches [`Self::ALL`]).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::LatencyCritical => 0,
+            QosClass::Standard => 1,
+            QosClass::Background => 2,
+        }
+    }
+
+    /// Short lowercase label for tables and CSVs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::LatencyCritical => "latency-critical",
+            QosClass::Standard => "standard",
+            QosClass::Background => "background",
+        }
+    }
+}
+
 /// Full configuration of the simulated SSD.
 #[derive(Debug, Clone)]
 pub struct FtlConfig {

@@ -1,15 +1,15 @@
 //! The SSD facade: request dispatch, write path, foreground GC and timing.
 
-use crate::active::{ActiveSuperblock, FailedMember, FILLER};
-use crate::config::{FtlConfig, PlacementPolicy};
+use crate::active::{ActiveSlots, ActiveSuperblock, FailedMember, Purpose, FILLER, PURPOSES};
+use crate::config::{FtlConfig, QosClass};
 use crate::error::FtlError;
 use crate::gc::{select_victim, SealedSuperblock};
-use crate::manager::BlockManager;
+use crate::manager::{speed_class_for, BlockManager};
 use crate::mapping::Mapping;
 use crate::recovery::{Checkpoint, JournalEntry, RecoveryReport, SporState};
 use crate::request::{IoOp, IoRequest};
 use crate::stats::SsdStats;
-use crate::timing::{InFlight, QueueModel, TouchLog, CONTROLLER};
+use crate::timing::{EngineState, InFlight, QueueModel, TimedOutcome, TouchLog, CONTROLLER};
 use crate::wear_level::WearTracker;
 use crate::Result;
 use flash_model::{
@@ -28,13 +28,6 @@ pub struct GeometryInfo {
     pub physical_pages: u64,
     /// Pages one superblock holds.
     pub pages_per_superblock: u64,
-}
-
-/// Who generated a write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Purpose {
-    Host,
-    Gc,
 }
 
 /// The simulated SSD.
@@ -61,8 +54,7 @@ pub struct Ssd {
     array: FlashArray,
     mapping: Mapping,
     manager: BlockManager,
-    host_active: Option<ActiveSuperblock>,
-    gc_active: Option<ActiveSuperblock>,
+    actives: ActiveSlots,
     sealed: Vec<SealedSuperblock>,
     stats: SsdStats,
     logical_pages: u64,
@@ -77,6 +69,9 @@ pub struct Ssd {
     sb_seq: u64,
     /// SPOR machinery: crash countdown, journal, checkpoint, sequences.
     spor: SporState,
+    /// Clock state of an in-progress incremental timed replay
+    /// ([`Ssd::timed_begin`] … [`Ssd::timed_end`]); `None` outside one.
+    engine: Option<EngineState>,
 }
 
 /// Exact `floor(physical_pages * (1 - overprovision))` in integer
@@ -134,8 +129,7 @@ impl Ssd {
             array,
             mapping: Mapping::new(logical_pages, &geo),
             manager,
-            host_active: None,
-            gc_active: None,
+            actives: ActiveSlots::default(),
             sealed: Vec::new(),
             stats: SsdStats::default(),
             logical_pages,
@@ -146,6 +140,7 @@ impl Ssd {
             seed,
             sb_seq: 0,
             spor,
+            engine: None,
         })
     }
 
@@ -160,10 +155,7 @@ impl Ssd {
     /// state would be lost).
     pub fn use_naive_mapping_for_benchmarks(&mut self) {
         assert_eq!(self.mapping.valid_pages(), 0, "switch mappings only on a fresh device");
-        assert!(
-            self.host_active.is_none() && self.gc_active.is_none(),
-            "switch mappings only on a fresh device"
-        );
+        assert!(self.actives.is_empty(), "switch mappings only on a fresh device");
         self.mapping = Mapping::new_naive(self.logical_pages);
     }
 
@@ -205,14 +197,101 @@ impl Ssd {
     ///
     /// Stops at the first failing request.
     pub fn run_timed(&mut self, requests: &[(f64, IoRequest)]) -> Result<()> {
-        match self.config.queue_model {
-            QueueModel::Single => self.run_timed_single(requests),
+        self.timed_begin();
+        for &(arrival, r) in requests {
+            if let Err(e) = self.timed_step(arrival, r, QosClass::Standard) {
+                self.timed_end();
+                return Err(e);
+            }
+        }
+        self.timed_end();
+        Ok(())
+    }
+
+    /// Starts an incremental timed replay: initializes the clock state for
+    /// the configured [`FtlConfig::queue_model`] so individual requests can
+    /// be fed through [`Ssd::timed_step`]. [`Ssd::run_timed`] is exactly
+    /// `timed_begin` + one `timed_step` per request + [`Ssd::timed_end`];
+    /// external dispatchers (a multi-queue host frontend arbitrating
+    /// between tenants) use the same API so their single-queue degenerate
+    /// case is structurally identical to the serial replay.
+    ///
+    /// Beginning a new replay while one is in progress resets the clocks.
+    pub fn timed_begin(&mut self) {
+        let engine = match self.config.queue_model {
+            QueueModel::Single => {
+                EngineState::Single { device_free_at: 0.0, in_flight: InFlight::default() }
+            }
             QueueModel::PerChip => {
                 self.touches.set_enabled(true);
-                let result = self.run_timed_per_chip(requests);
-                self.touches.set_enabled(false);
-                result
+                let groups = self.array.geometry().chip_plane_groups();
+                if self.stats.chip_busy_us.len() != groups + 1 {
+                    self.stats.chip_busy_us = vec![0.0; groups + 1];
+                }
+                EngineState::PerChip {
+                    busy: vec![0.0f64; groups + 1],
+                    agg: vec![0.0f64; groups + 1],
+                    touched: Vec::with_capacity(groups + 1),
+                    buf: Vec::new(),
+                    in_flight: InFlight::default(),
+                    makespan: 0.0,
+                }
             }
+        };
+        self.engine = Some(engine);
+    }
+
+    /// Executes one request of an incremental timed replay: the request
+    /// arrives at `arrival` µs, waits for the device clocks per the
+    /// configured queue model, and executes with its writes placed by
+    /// `class`. Returns where the request landed on the clocks.
+    ///
+    /// Arrivals should be non-decreasing across calls (queue-depth
+    /// accounting assumes it, like [`Ssd::run_timed`]'s sorted input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a [`Ssd::timed_begin`] … [`Ssd::timed_end`]
+    /// replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failing request's error; the replay stays live so the
+    /// caller decides whether to continue or [`Ssd::timed_end`].
+    pub fn timed_step(
+        &mut self,
+        arrival: f64,
+        r: IoRequest,
+        class: QosClass,
+    ) -> Result<TimedOutcome> {
+        let mut engine = self.engine.take().expect("timed_step requires timed_begin");
+        let result = match &mut engine {
+            EngineState::Single { device_free_at, in_flight } => {
+                self.timed_step_single(arrival, r, class, device_free_at, in_flight)
+            }
+            EngineState::PerChip { busy, agg, touched, buf, in_flight, makespan } => self
+                .timed_step_per_chip(
+                    arrival, r, class, busy, agg, touched, buf, in_flight, makespan,
+                ),
+        };
+        self.engine = Some(engine);
+        result
+    }
+
+    /// Finishes an incremental timed replay: folds the final clock state
+    /// into [`SsdStats::makespan_us`] and drops the engine. No-op when no
+    /// replay is in progress.
+    pub fn timed_end(&mut self) {
+        match self.engine.take() {
+            Some(EngineState::Single { device_free_at, .. }) => {
+                self.stats.makespan_us = self.stats.makespan_us.max(device_free_at);
+            }
+            Some(EngineState::PerChip { busy, makespan, .. }) => {
+                let busiest = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+                self.stats.makespan_us = self.stats.makespan_us.max(makespan.max(busiest));
+                self.touches.set_enabled(false);
+            }
+            None => {}
         }
     }
 
@@ -233,119 +312,129 @@ impl Ssd {
         }
     }
 
-    /// The original scalar-clock replay: one device-wide command queue.
-    fn run_timed_single(&mut self, requests: &[(f64, IoRequest)]) -> Result<()> {
-        let mut device_free_at = 0.0f64;
-        let mut in_flight = InFlight::default();
-        for &(arrival, r) in requests {
-            // Idle-time GC: use gaps before the next arrival to pre-free
-            // space, shrinking foreground pauses.
-            if self.config.idle_gc {
-                while device_free_at < arrival
-                    && self.manager.assemblable() < self.config.gc_high_watermark
-                {
-                    match self.gc_once()? {
-                        Some(t) => {
-                            device_free_at += t;
-                            // Background work: accounted separately so
-                            // utilization reflects foreground service only.
-                            self.stats.idle_gc_us += t;
-                        }
-                        None => break,
+    /// One step of the original scalar-clock replay: one device-wide
+    /// command queue.
+    fn timed_step_single(
+        &mut self,
+        arrival: f64,
+        r: IoRequest,
+        class: QosClass,
+        device_free_at: &mut f64,
+        in_flight: &mut InFlight,
+    ) -> Result<TimedOutcome> {
+        // Idle-time GC: use gaps before the next arrival to pre-free
+        // space, shrinking foreground pauses.
+        if self.config.idle_gc {
+            while *device_free_at < arrival
+                && self.manager.assemblable() < self.config.gc_high_watermark
+            {
+                match self.gc_once()? {
+                    Some(t) => {
+                        *device_free_at += t;
+                        // Background work: accounted separately so
+                        // utilization reflects foreground service only.
+                        self.stats.idle_gc_us += t;
                     }
+                    None => break,
                 }
             }
-            let start = device_free_at.max(arrival);
-            let wait = start - arrival;
-            let service = match r.op {
-                IoOp::Write => self.write(r.lpn)?,
-                IoOp::Read => self.read(r.lpn)?.unwrap_or(0.0),
-                IoOp::Trim => {
-                    self.trim(r.lpn)?;
-                    0.0
-                }
-            };
-            self.record_timed_latency(r.op, wait, service);
-            let depth = in_flight.arrive(arrival) as u64 + 1;
-            self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
-            device_free_at = start + service;
-            in_flight.complete_at(device_free_at);
         }
-        self.stats.makespan_us = self.stats.makespan_us.max(device_free_at);
-        Ok(())
+        let start = device_free_at.max(arrival);
+        let wait = start - arrival;
+        let service = match r.op {
+            IoOp::Write => self.write_with_class(r.lpn, class)?,
+            IoOp::Read => self.read(r.lpn)?.unwrap_or(0.0),
+            IoOp::Trim => {
+                self.trim(r.lpn)?;
+                0.0
+            }
+        };
+        self.record_timed_latency(r.op, wait, service);
+        let depth = in_flight.arrive(arrival) as u64 + 1;
+        self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
+        *device_free_at = start + service;
+        in_flight.complete_at(*device_free_at);
+        Ok(TimedOutcome {
+            wait_us: wait,
+            service_us: service,
+            start_us: start,
+            completion_us: *device_free_at,
+        })
     }
 
-    /// Event-driven replay with per-chip busy-until clocks: each request
-    /// starts once its arrival has passed and every resource it touches
-    /// (member chips of its flash commands, plus the host channel for page
-    /// transfers) is free; each touched resource then stays busy for its own
-    /// recorded duration, so fast member chips free early and independent
-    /// requests overlap. Host-visible latency keeps the same wait + service
-    /// shape as the `Single` model — only the wait changes.
-    fn run_timed_per_chip(&mut self, requests: &[(f64, IoRequest)]) -> Result<()> {
-        let groups = self.array.geometry().chip_plane_groups();
-        // One clock per chip/plane group; the final slot is the host
-        // channel/controller (where CONTROLLER touches land).
-        let mut busy = vec![0.0f64; groups + 1];
-        if self.stats.chip_busy_us.len() != groups + 1 {
-            self.stats.chip_busy_us = vec![0.0; groups + 1];
-        }
-        let mut agg = vec![0.0f64; groups + 1];
-        let mut touched: Vec<usize> = Vec::with_capacity(groups + 1);
-        let mut buf: Vec<(usize, f64)> = Vec::new();
-        let mut in_flight = InFlight::default();
-        let mut makespan = 0.0f64;
-        for &(arrival, r) in requests {
-            if self.config.idle_gc {
-                // A gap exists when every clock runs out before the next
-                // arrival; background GC then charges only the groups it
-                // actually touches.
-                while busy.iter().fold(0.0f64, |a, &b| a.max(b)) < arrival
-                    && self.manager.assemblable() < self.config.gc_high_watermark
-                {
-                    match self.gc_once()? {
-                        Some(t) => {
-                            self.stats.idle_gc_us += t;
-                            self.touches.take_into(&mut buf);
-                            Self::aggregate_touches(&buf, groups, &mut agg, &mut touched);
-                            let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
-                            for &g in &touched {
-                                busy[g] = start + agg[g];
-                                self.stats.chip_busy_us[g] += agg[g];
-                                agg[g] = 0.0;
-                            }
+    /// One step of the event-driven replay with per-chip busy-until clocks:
+    /// the request starts once its arrival has passed and every resource it
+    /// touches (member chips of its flash commands, plus the host channel
+    /// for page transfers) is free; each touched resource then stays busy
+    /// for its own recorded duration, so fast member chips free early and
+    /// independent requests overlap. Host-visible latency keeps the same
+    /// wait + service shape as the `Single` model — only the wait changes.
+    #[allow(clippy::too_many_arguments)]
+    fn timed_step_per_chip(
+        &mut self,
+        arrival: f64,
+        r: IoRequest,
+        class: QosClass,
+        busy: &mut [f64],
+        agg: &mut [f64],
+        touched: &mut Vec<usize>,
+        buf: &mut Vec<(usize, f64)>,
+        in_flight: &mut InFlight,
+        makespan: &mut f64,
+    ) -> Result<TimedOutcome> {
+        let groups = busy.len() - 1;
+        if self.config.idle_gc {
+            // A gap exists when every clock runs out before the next
+            // arrival; background GC then charges only the groups it
+            // actually touches.
+            while busy.iter().fold(0.0f64, |a, &b| a.max(b)) < arrival
+                && self.manager.assemblable() < self.config.gc_high_watermark
+            {
+                match self.gc_once()? {
+                    Some(t) => {
+                        self.stats.idle_gc_us += t;
+                        self.touches.take_into(buf);
+                        Self::aggregate_touches(buf, groups, agg, touched);
+                        let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                        for &g in touched.iter() {
+                            busy[g] = start + agg[g];
+                            self.stats.chip_busy_us[g] += agg[g];
+                            agg[g] = 0.0;
                         }
-                        None => break,
                     }
+                    None => break,
                 }
             }
-            let service = match r.op {
-                IoOp::Write => self.write(r.lpn)?,
-                IoOp::Read => self.read(r.lpn)?.unwrap_or(0.0),
-                IoOp::Trim => {
-                    self.trim(r.lpn)?;
-                    0.0
-                }
-            };
-            self.touches.take_into(&mut buf);
-            Self::aggregate_touches(&buf, groups, &mut agg, &mut touched);
-            let start = touched.iter().fold(arrival, |a, &g| a.max(busy[g]));
-            let wait = start - arrival;
-            for &g in &touched {
-                busy[g] = start + agg[g];
-                self.stats.chip_busy_us[g] += agg[g];
-                agg[g] = 0.0;
-            }
-            self.record_timed_latency(r.op, wait, service);
-            let depth = in_flight.arrive(arrival) as u64 + 1;
-            self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
-            let completion = start + service;
-            in_flight.complete_at(completion);
-            makespan = makespan.max(completion);
         }
-        let busiest = busy.iter().fold(0.0f64, |a, &b| a.max(b));
-        self.stats.makespan_us = self.stats.makespan_us.max(makespan.max(busiest));
-        Ok(())
+        let service = match r.op {
+            IoOp::Write => self.write_with_class(r.lpn, class)?,
+            IoOp::Read => self.read(r.lpn)?.unwrap_or(0.0),
+            IoOp::Trim => {
+                self.trim(r.lpn)?;
+                0.0
+            }
+        };
+        self.touches.take_into(buf);
+        Self::aggregate_touches(buf, groups, agg, touched);
+        let start = touched.iter().fold(arrival, |a, &g| a.max(busy[g]));
+        let wait = start - arrival;
+        for &g in touched.iter() {
+            busy[g] = start + agg[g];
+            self.stats.chip_busy_us[g] += agg[g];
+            agg[g] = 0.0;
+        }
+        self.record_timed_latency(r.op, wait, service);
+        let depth = in_flight.arrive(arrival) as u64 + 1;
+        self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
+        let completion = start + service;
+        in_flight.complete_at(completion);
+        *makespan = makespan.max(completion);
+        Ok(TimedOutcome {
+            wait_us: wait,
+            service_us: service,
+            start_us: start,
+            completion_us: completion,
+        })
     }
 
     /// Folds raw touch-log entries into per-group occupancy: `agg[g]` gets
@@ -434,19 +523,32 @@ impl Ssd {
     }
 
     /// Writes one logical page, returning the host-visible latency in µs
-    /// (transfer + any triggered program/erase/GC work).
+    /// (transfer + any triggered program/erase/GC work). Equivalent to
+    /// [`Ssd::write_with_class`] with [`QosClass::Standard`].
     ///
     /// # Errors
     ///
     /// Returns [`FtlError::LpnOutOfRange`] or [`FtlError::OutOfSpace`].
     pub fn write(&mut self, lpn: u64) -> Result<f64> {
+        self.write_with_class(lpn, QosClass::Standard)
+    }
+
+    /// Writes one logical page on behalf of a tenant of the given QoS
+    /// class; the class picks the open superblock via the placement hook
+    /// (see [`QosClass`]). `Standard` is byte-identical to [`Ssd::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LpnOutOfRange`] or [`FtlError::OutOfSpace`].
+    pub fn write_with_class(&mut self, lpn: u64, class: QosClass) -> Result<f64> {
         self.ensure_powered()?;
         self.check_lpn(lpn)?;
         self.touch_controller(self.config.transfer_us);
         let mut latency = self.config.transfer_us;
         latency += self.maybe_gc()?;
-        latency += self.stage_write(lpn, Purpose::Host)?;
+        latency += self.stage_write(lpn, Purpose::Host(class))?;
         self.stats.host_writes += 1;
+        self.stats.host_writes_by_class[class.index()] += 1;
         self.stats.write_latency.record(latency);
         self.stats.busy_us += latency;
         self.maybe_checkpoint()?;
@@ -463,8 +565,7 @@ impl Ssd {
         self.ensure_powered()?;
         self.check_lpn(lpn)?;
         // Serve from the staging buffers first (write-back cache).
-        let staged = self.host_active.as_ref().is_some_and(|a| a.has_staged(lpn))
-            || self.gc_active.as_ref().is_some_and(|a| a.has_staged(lpn));
+        let staged = self.actives.any_staged(lpn);
         let latency = if staged {
             self.touch_controller(self.config.transfer_us);
             self.config.transfer_us
@@ -525,8 +626,7 @@ impl Ssd {
         let mut transfer = 0.0;
         let mut served = 0u64;
         for &lpn in lpns {
-            let staged = self.host_active.as_ref().is_some_and(|a| a.has_staged(lpn))
-                || self.gc_active.as_ref().is_some_and(|a| a.has_staged(lpn));
+            let staged = self.actives.any_staged(lpn);
             if staged {
                 self.touch_controller(self.config.transfer_us);
                 transfer += self.config.transfer_us;
@@ -563,12 +663,7 @@ impl Ssd {
         self.ensure_powered()?;
         self.check_lpn(lpn)?;
         self.mapping.unmap(lpn);
-        if let Some(a) = self.host_active.as_mut() {
-            a.discard_staged(lpn);
-        }
-        if let Some(a) = self.gc_active.as_mut() {
-            a.discard_staged(lpn);
-        }
+        self.actives.discard_staged(lpn);
         if self.spor.enabled {
             // Tombstone: any on-flash copy with a lower sequence number is
             // dead to recovery, even if its superblock is never scanned
@@ -600,17 +695,11 @@ impl Ssd {
     }
 
     fn class_for(&self, purpose: Purpose) -> SpeedClass {
-        match (self.config.placement, purpose) {
-            (PlacementPolicy::FunctionBased, Purpose::Gc) => SpeedClass::Slow,
-            _ => SpeedClass::Fast,
-        }
+        speed_class_for(self.config.placement, purpose)
     }
 
     fn slot(&mut self, purpose: Purpose) -> &mut Option<ActiveSuperblock> {
-        match (self.config.placement, purpose) {
-            (PlacementPolicy::FunctionBased, Purpose::Gc) => &mut self.gc_active,
-            _ => &mut self.host_active,
-        }
+        self.actives.slot(self.config.placement, purpose)
     }
 
     /// Ensures an open superblock exists for `purpose`; returns time spent
@@ -801,7 +890,10 @@ impl Ssd {
     /// Propagates flash errors (internal invariant bugs).
     pub fn flush(&mut self) -> Result<f64> {
         self.ensure_powered()?;
-        let time = self.flush_purpose(Purpose::Host)? + self.flush_purpose(Purpose::Gc)?;
+        let mut time = 0.0;
+        for purpose in PURPOSES {
+            time += self.flush_purpose(purpose)?;
+        }
         self.maybe_checkpoint()?;
         Ok(time)
     }
@@ -944,7 +1036,7 @@ impl Ssd {
         let sealed =
             self.sealed.iter().map(|s| (s.sb_id, s.members.clone(), s.sealed_at)).collect();
         let mut actives = Vec::new();
-        for a in [self.host_active.as_ref(), self.gc_active.as_ref()].into_iter().flatten() {
+        for a in self.actives.iter() {
             actives.push((a.sb_id(), a.members.clone()));
         }
         let mut retired = self.spor.checkpoint.retired.clone();
@@ -996,8 +1088,7 @@ impl Ssd {
         let geo = self.array.geometry().clone();
         // RAM died with the power: open superblocks, their staging buffers
         // and gatherers are gone.
-        self.host_active = None;
-        self.gc_active = None;
+        self.actives.clear();
         // 1. Replay the journal over the checkpoint's block sets.
         let mut retired = self.spor.checkpoint.retired.clone();
         let mut freed: HashSet<u64> = HashSet::new();
@@ -1739,6 +1830,55 @@ mod tests {
         let mut dev = Ssd::new(config, 11).unwrap();
         dev.write(1).unwrap();
         assert!(matches!(dev.recover(), Err(FtlError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn qos_classes_route_to_the_ranked_pool_ends() {
+        // Under function-based placement, latency-critical and standard
+        // writes must open fast superblocks while background writes share
+        // the slow end with GC (§V-D generalized to host tenants).
+        let mut dev = ssd(OrganizationScheme::QstrMed { candidates: 4 });
+        dev.write_with_class(1, QosClass::LatencyCritical).unwrap();
+        dev.write_with_class(2, QosClass::Standard).unwrap();
+        assert_eq!(dev.stats().superblocks_assembled, (2, 0), "LC + standard are both fast");
+        dev.write_with_class(3, QosClass::Background).unwrap();
+        assert_eq!(dev.stats().superblocks_assembled, (2, 1), "background is slow");
+        assert_eq!(dev.stats().host_writes, 3);
+        assert_eq!(dev.stats().host_writes_by_class, [1, 1, 1]);
+        // Each class owns its open superblock: more writes of the same
+        // classes keep filling them instead of assembling new ones.
+        dev.write_with_class(4, QosClass::LatencyCritical).unwrap();
+        dev.write_with_class(5, QosClass::Background).unwrap();
+        assert_eq!(dev.stats().superblocks_assembled, (2, 1));
+        assert_eq!(dev.stats().host_writes_by_class, [2, 1, 2]);
+        // All staged data is readable and survives a flush.
+        dev.flush().unwrap();
+        for lpn in 1..=5 {
+            assert!(dev.read(lpn).unwrap().is_some(), "lpn {lpn}");
+        }
+        assert_eq!(dev.valid_pages(), 5);
+    }
+
+    #[test]
+    fn unified_placement_ignores_qos_class() {
+        let mut config = FtlConfig::small_test();
+        config.scheme = OrganizationScheme::QstrMed { candidates: 4 };
+        config.placement = crate::config::PlacementPolicy::Unified;
+        let mut dev = Ssd::new(config, 11).unwrap();
+        dev.write_with_class(1, QosClass::LatencyCritical).unwrap();
+        dev.write_with_class(2, QosClass::Standard).unwrap();
+        dev.write_with_class(3, QosClass::Background).unwrap();
+        // One shared fast superblock serves every class.
+        assert_eq!(dev.stats().superblocks_assembled, (1, 0));
+        assert_eq!(dev.stats().host_writes_by_class, [1, 1, 1]);
+    }
+
+    #[test]
+    fn plain_write_counts_as_standard_class() {
+        let mut dev = ssd(OrganizationScheme::Random);
+        dev.write(5).unwrap();
+        dev.write(6).unwrap();
+        assert_eq!(dev.stats().host_writes_by_class, [0, 2, 0]);
     }
 
     #[test]

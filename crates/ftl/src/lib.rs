@@ -49,7 +49,7 @@ pub mod trace;
 mod wear_level;
 mod workload;
 
-pub use config::{FtlConfig, OrganizationScheme, PlacementPolicy};
+pub use config::{FtlConfig, OrganizationScheme, PlacementPolicy, QosClass};
 pub use device::{GeometryInfo, Ssd};
 pub use error::FtlError;
 pub use gc::GcPolicy;
@@ -58,7 +58,7 @@ pub use mapping::Mapping;
 pub use recovery::{CrashPoint, RecoveryReport, SporConfig};
 pub use request::{IoOp, IoRequest};
 pub use stats::{LatencyHistogram, SsdStats};
-pub use timing::QueueModel;
+pub use timing::{QueueModel, TimedOutcome};
 pub use wear_level::WearTracker;
 pub use workload::{mean_interarrival_us, poisson_arrivals, Workload};
 

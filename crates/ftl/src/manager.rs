@@ -1,12 +1,31 @@
 //! Free-block pools and superblock organization strategies.
 
-use crate::config::OrganizationScheme;
+use crate::active::Purpose;
+use crate::config::{OrganizationScheme, PlacementPolicy, QosClass};
 use flash_model::{BlockAddr, Geometry};
 use pvcheck::assembly::QstrMed;
 use pvcheck::{BlockSummary, SpeedClass};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashMap, HashSet};
+
+/// The pool-ranking half of the QoS placement hook: which end of the
+/// process-variation-sorted free lists a write's open superblock is
+/// assembled from ([`BlockManager::allocate`] takes the result).
+///
+/// Under function-based placement (§V-D generalized per tenant):
+/// `LatencyCritical` and `Standard` host writes take fast-ranked
+/// superblocks, `Background` host writes and GC relocations take the slow
+/// end — GC stays pinned to the slowest pool exactly as in the paper.
+/// Under [`PlacementPolicy::Unified`] everything is fast-ranked, matching
+/// the single shared open superblock.
+pub(crate) fn speed_class_for(placement: PlacementPolicy, purpose: Purpose) -> SpeedClass {
+    match (placement, purpose) {
+        (PlacementPolicy::FunctionBased, Purpose::Gc)
+        | (PlacementPolicy::FunctionBased, Purpose::Host(QosClass::Background)) => SpeedClass::Slow,
+        _ => SpeedClass::Fast,
+    }
+}
 
 /// Owns the free blocks of every chip pool and assembles superblocks from
 /// them according to the configured [`OrganizationScheme`].
@@ -266,6 +285,31 @@ mod tests {
 
     fn geo() -> Geometry {
         Geometry::new(4, 1, 8, 4, 4, flash_model::CellType::Tlc)
+    }
+
+    #[test]
+    fn qos_placement_maps_classes_onto_the_ranking_ends() {
+        use PlacementPolicy::{FunctionBased, Unified};
+        // Function-based: latency-critical and standard host writes take the
+        // fast end; background host writes share the slow end with GC.
+        assert_eq!(
+            speed_class_for(FunctionBased, Purpose::Host(QosClass::LatencyCritical)),
+            SpeedClass::Fast
+        );
+        assert_eq!(
+            speed_class_for(FunctionBased, Purpose::Host(QosClass::Standard)),
+            SpeedClass::Fast
+        );
+        assert_eq!(
+            speed_class_for(FunctionBased, Purpose::Host(QosClass::Background)),
+            SpeedClass::Slow
+        );
+        assert_eq!(speed_class_for(FunctionBased, Purpose::Gc), SpeedClass::Slow);
+        // Unified placement ignores class entirely.
+        for class in QosClass::ALL {
+            assert_eq!(speed_class_for(Unified, Purpose::Host(class)), SpeedClass::Fast);
+        }
+        assert_eq!(speed_class_for(Unified, Purpose::Gc), SpeedClass::Fast);
     }
 
     #[test]

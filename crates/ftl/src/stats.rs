@@ -9,6 +9,19 @@ use std::sync::OnceLock;
 /// invalidated by [`LatencyHistogram::record`] and
 /// [`LatencyHistogram::replace_last`], so repeated queries between
 /// insertions cost one sort total instead of one sort each.
+///
+/// ```
+/// use ftl::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [120.0, 85.0, 310.0, 95.0] {
+///     h.record(us);
+/// }
+/// assert_eq!(h.len(), 4);
+/// assert_eq!(h.max_us(), 310.0);
+/// assert!((h.mean_us() - 152.5).abs() < 1e-12);
+/// assert_eq!(h.quantile_us(0.99), 310.0);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     samples_us: Vec<f64>,
@@ -58,7 +71,31 @@ impl LatencyHistogram {
         self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0 when empty.
+    /// The `q`-quantile of the recorded samples by nearest-rank, or 0 when
+    /// empty.
+    ///
+    /// The estimator is the conventional nearest-rank over the ascending
+    /// sort: the returned value is the sample at index
+    /// `round((len - 1) * q)`, so the answer is always an actual recorded
+    /// sample (no interpolation). `q` outside `[0, 1]` is clamped rather
+    /// than panicking — any negative `q` pins to the minimum sample and any
+    /// `q > 1` pins to the maximum; a NaN `q` is treated as `0` (the
+    /// minimum).
+    ///
+    /// ```
+    /// use ftl::LatencyHistogram;
+    ///
+    /// let mut h = LatencyHistogram::new();
+    /// for us in [10.0, 20.0, 30.0, 40.0] {
+    ///     h.record(us);
+    /// }
+    /// // Nearest rank: index round(3 * 0.5) = 2 of the sorted samples.
+    /// assert_eq!(h.quantile_us(0.5), 30.0);
+    /// // Out-of-range quantiles clamp to the extremes instead of panicking.
+    /// assert_eq!(h.quantile_us(-0.5), 10.0);
+    /// assert_eq!(h.quantile_us(1.5), 40.0);
+    /// assert_eq!(h.quantile_us(f64::NAN), 10.0);
+    /// ```
     #[must_use]
     pub fn quantile_us(&self, q: f64) -> f64 {
         if self.samples_us.is_empty() {
@@ -69,6 +106,9 @@ impl LatencyHistogram {
             s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             s
         });
+        // NaN must not reach the index arithmetic: `NaN as usize` happens
+        // to saturate to 0, but that is an accident, not a contract.
+        let q = if q.is_nan() { 0.0 } else { q };
         let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         sorted[idx]
     }
@@ -85,6 +125,11 @@ impl LatencyHistogram {
 pub struct SsdStats {
     /// Host pages written.
     pub host_writes: u64,
+    /// Host pages written per QoS class, indexed by
+    /// [`crate::QosClass::index`] (latency-critical, standard, background).
+    /// [`crate::Ssd::write`] counts as standard, so legacy runs land
+    /// entirely in the middle slot.
+    pub host_writes_by_class: [u64; 3],
     /// Host pages read.
     pub host_reads: u64,
     /// Host trims.
@@ -208,6 +253,28 @@ mod tests {
         assert_eq!(h.quantile_us(1.0), 5.0);
         assert_eq!(h.max_us(), 5.0);
         assert!((h.mean_us() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp_to_the_extremes() {
+        let mut h = LatencyHistogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        // Below 0 pins to the minimum; above 1 pins to the maximum.
+        assert_eq!(h.quantile_us(-0.5), 1.0);
+        assert_eq!(h.quantile_us(-1e300), 1.0);
+        assert_eq!(h.quantile_us(f64::NEG_INFINITY), 1.0);
+        assert_eq!(h.quantile_us(1.5), 4.0);
+        assert_eq!(h.quantile_us(1e300), 4.0);
+        assert_eq!(h.quantile_us(f64::INFINITY), 4.0);
+        // NaN is treated as 0 (the minimum), never a panic.
+        assert_eq!(h.quantile_us(f64::NAN), 1.0);
+        // An empty histogram stays 0 for every out-of-range q.
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile_us(-1.0), 0.0);
+        assert_eq!(empty.quantile_us(2.0), 0.0);
+        assert_eq!(empty.quantile_us(f64::NAN), 0.0);
     }
 
     #[test]

@@ -31,6 +31,53 @@ pub enum QueueModel {
 /// transfers); replay maps it to the slot after the last chip/plane group.
 pub(crate) const CONTROLLER: usize = usize::MAX;
 
+/// Where one [`crate::Ssd::timed_step`] landed on the device clocks.
+///
+/// All times are absolute simulation microseconds on the replay clock that
+/// started at [`crate::Ssd::timed_begin`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedOutcome {
+    /// Queueing delay: time between the request's arrival and its service
+    /// starting, µs.
+    pub wait_us: f64,
+    /// Service time of the request itself, µs.
+    pub service_us: f64,
+    /// Absolute time service started, µs.
+    pub start_us: f64,
+    /// Absolute time the request completed, µs.
+    pub completion_us: f64,
+}
+
+/// Live clock state of an in-progress timed replay — one variant per
+/// [`QueueModel`]. Created by [`crate::Ssd::timed_begin`], advanced by
+/// [`crate::Ssd::timed_step`], folded into the stats by
+/// [`crate::Ssd::timed_end`].
+#[derive(Debug)]
+pub(crate) enum EngineState {
+    /// One scalar device-wide clock.
+    Single {
+        /// When the single command queue drains.
+        device_free_at: f64,
+        /// Open-loop depth tracker.
+        in_flight: InFlight,
+    },
+    /// Per chip/plane group busy-until clocks plus the host channel.
+    PerChip {
+        /// Busy-until clock per group; the last slot is the controller.
+        busy: Vec<f64>,
+        /// Scratch: summed occupancy per group for the current request.
+        agg: Vec<f64>,
+        /// Scratch: groups the current request touched.
+        touched: Vec<usize>,
+        /// Scratch: raw touch-log entries.
+        buf: Vec<(usize, f64)>,
+        /// Open-loop depth tracker.
+        in_flight: InFlight,
+        /// Latest completion seen so far.
+        makespan: f64,
+    },
+}
+
 /// Records which chip/plane groups each request occupies and for how long.
 ///
 /// Recording is off by default; [`crate::Ssd::run_timed`] enables it only

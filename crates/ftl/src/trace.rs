@@ -9,6 +9,7 @@
 //! R,128          # read LPN 128
 //! T,128          # trim LPN 128
 //! W,4096,8       # optional third column: run length in pages
+//! W,4096,8,2     # optional fourth column: tenant id (defaults to 0)
 //! ```
 
 use crate::request::{IoOp, IoRequest};
@@ -42,8 +43,18 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// One parsed trace request together with the tenant that issued it
+/// (the optional fourth trace column; tenant 0 when absent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TracedRequest {
+    /// Issuing tenant (submission-queue index of a multi-queue frontend).
+    pub tenant: u32,
+    /// The request itself.
+    pub request: IoRequest,
+}
+
 /// Parses a trace from any reader (a `&[u8]` literal works for tests; pass
-/// a `BufReader<File>` for real traces).
+/// a `BufReader<File>` for real traces), discarding tenant ids.
 ///
 /// ```
 /// use ftl::trace::parse_trace;
@@ -57,6 +68,27 @@ impl std::error::Error for TraceError {}
 ///
 /// Returns [`TraceError`] on the first malformed line or I/O failure.
 pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<IoRequest>, TraceError> {
+    Ok(parse_trace_tenants(reader)?.into_iter().map(|t| t.request).collect())
+}
+
+/// Parses a trace keeping the per-line tenant id (fourth column, default
+/// tenant 0) so multi-queue frontends can route each request to its
+/// submission queue.
+///
+/// ```
+/// use ftl::trace::parse_trace_tenants;
+///
+/// let reqs = parse_trace_tenants(b"W,10\nW,20,2,3\n" as &[u8])?;
+/// assert_eq!(reqs[0].tenant, 0, "tenant defaults to 0");
+/// assert_eq!(reqs[1].tenant, 3);
+/// assert_eq!(reqs[2].tenant, 3, "every page of a run keeps the tenant");
+/// # Ok::<(), ftl::trace::TraceError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on the first malformed line or I/O failure.
+pub fn parse_trace_tenants<R: BufRead>(reader: R) -> Result<Vec<TracedRequest>, TraceError> {
     let mut out = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| TraceError::Io(e.to_string()))?;
@@ -108,8 +140,21 @@ pub fn parse_trace<R: BufRead>(reader: R) -> Result<Vec<IoRequest>, TraceError> 
                 reason: format!("run {lpn}+{len} overflows the LPN space"),
             });
         }
+        let tenant: u32 = match parts.next() {
+            None | Some("") => 0,
+            Some(n) => n.parse().map_err(|e| TraceError::Malformed {
+                line: line_no,
+                reason: format!("bad tenant id: {e}"),
+            })?,
+        };
+        if parts.next().is_some() {
+            return Err(TraceError::Malformed {
+                line: line_no,
+                reason: "too many columns (expected op,lpn[,len[,tenant]])".to_string(),
+            });
+        }
         for i in 0..len {
-            out.push(IoRequest { op, lpn: lpn + i });
+            out.push(TracedRequest { tenant, request: IoRequest { op, lpn: lpn + i } });
         }
     }
     Ok(out)
@@ -173,6 +218,45 @@ mod tests {
         let reqs = parse_trace(line.as_bytes()).unwrap();
         assert_eq!(reqs.len(), 2);
         assert_eq!(reqs[1].lpn, u64::MAX);
+    }
+
+    #[test]
+    fn tenant_column_defaults_to_zero_and_parses() {
+        let trace = b"W,10\nR,11,1,0\nW,20,2,7\nT,30,,\n" as &[u8];
+        let reqs = parse_trace_tenants(trace).unwrap();
+        assert_eq!(reqs.len(), 5);
+        assert_eq!(reqs[0], TracedRequest { tenant: 0, request: IoRequest::write(10) });
+        assert_eq!(reqs[1], TracedRequest { tenant: 0, request: IoRequest::read(11) });
+        assert_eq!(reqs[2], TracedRequest { tenant: 7, request: IoRequest::write(20) });
+        assert_eq!(reqs[3], TracedRequest { tenant: 7, request: IoRequest::write(21) });
+        // Empty len and tenant columns fall back to the defaults.
+        assert_eq!(reqs[4], TracedRequest { tenant: 0, request: IoRequest::trim(30) });
+        // The tenant-blind entry point agrees, minus the tenant ids.
+        let blind = parse_trace(trace).unwrap();
+        let stripped: Vec<IoRequest> = reqs.iter().map(|t| t.request).collect();
+        assert_eq!(blind, stripped);
+    }
+
+    #[test]
+    fn rejects_bad_tenant_id() {
+        let err = parse_trace_tenants(b"W,5,1,alice\n" as &[u8]).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 1, .. }));
+        assert!(err.to_string().contains("bad tenant id"));
+        // Negative and overflowing ids are rejected by the u32 parse too.
+        let err = parse_trace_tenants(b"W,5,1,-2\n" as &[u8]).unwrap_err();
+        assert!(err.to_string().contains("bad tenant id"));
+        let err = parse_trace_tenants(b"W,5,1,4294967296\n" as &[u8]).unwrap_err();
+        assert!(err.to_string().contains("bad tenant id"));
+        // The tenant-blind entry point rejects the same lines: a malformed
+        // column is an error, not silently dropped data.
+        assert!(parse_trace(b"W,5,1,alice\n" as &[u8]).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_columns() {
+        let err = parse_trace_tenants(b"W,5,1,0,9\n" as &[u8]).unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 1, .. }));
+        assert!(err.to_string().contains("too many columns"));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! The frontend's determinism contract: a single tenant with unit weight
+//! and an unbounded submission queue must be a structural no-op — the
+//! device sees exactly the request stream `Ssd::run_timed` would feed it,
+//! so every stat comes out bit-identical. Any reordered float, extra RNG
+//! draw or changed dispatch decision in the frontend shows up here.
+//!
+//! The workload mirrors `crates/ftl/tests/timed_golden.rs` (which pins
+//! `run_timed` itself against pre-engine golden bits), so this test
+//! transitively pins the frontend to those goldens too.
+
+use ftl::{poisson_arrivals, FtlConfig, IoOp, IoRequest, QosClass, QueueModel, Ssd, Workload};
+use host::{Arbitration, HostFrontend, TenantSpec};
+
+/// Mixed open-loop workload over the small-test device: 3x-capacity random
+/// writes over half the LPNs with reads (hits and guaranteed misses) and
+/// trims folded in, arriving Poisson at 800 µs mean.
+fn workload(dev: &Ssd) -> Vec<(f64, IoRequest)> {
+    let info = dev.geometry_info();
+    let n = (info.logical_pages * 3) as usize;
+    let mut reqs = Workload::random_write(0.5).generate(&info, n, 5);
+    for (i, r) in reqs.iter_mut().enumerate() {
+        match i % 7 {
+            3 => r.op = IoOp::Read,
+            5 => *r = IoRequest { op: IoOp::Read, lpn: info.logical_pages - 1 },
+            6 if i % 14 == 6 => r.op = IoOp::Trim,
+            _ => {}
+        }
+    }
+    poisson_arrivals(&reqs, 800.0, 1)
+}
+
+fn device(idle_gc: bool, model: QueueModel) -> Ssd {
+    let mut config = FtlConfig::small_test();
+    config.idle_gc = idle_gc;
+    config.queue_model = model;
+    Ssd::new(config, 3).unwrap()
+}
+
+#[test]
+fn single_tenant_frontend_is_bit_identical_to_run_timed() {
+    for idle_gc in [false, true] {
+        for model in [QueueModel::Single, QueueModel::PerChip] {
+            let tag = format!("idle_gc={idle_gc} model={model:?}");
+
+            let mut direct = device(idle_gc, model);
+            let timed = workload(&direct);
+            direct.run_timed(&timed).unwrap();
+
+            let mut front = HostFrontend::new(
+                device(idle_gc, model),
+                vec![TenantSpec::new("only", QosClass::Standard)],
+                Arbitration::WeightedRoundRobin,
+            );
+            front.submit(0, &timed);
+            front.run().unwrap();
+            assert!(front.drained(), "{tag}");
+            assert!(front.dispatch_log().iter().all(|&k| k == 0), "{tag}");
+
+            let (d, f) = (direct.stats(), front.device().stats());
+            assert_eq!(d.host_writes, f.host_writes, "{tag} host_writes");
+            assert_eq!(d.host_reads, f.host_reads, "{tag} host_reads");
+            assert_eq!(d.host_trims, f.host_trims, "{tag} host_trims");
+            assert_eq!(d.host_writes_by_class, f.host_writes_by_class, "{tag} by_class");
+            assert_eq!(d.gc_runs, f.gc_runs, "{tag} gc_runs");
+            assert_eq!(d.gc_relocations, f.gc_relocations, "{tag} gc_relocations");
+            assert_eq!(d.superwl_programs, f.superwl_programs, "{tag} superwl_programs");
+            assert_eq!(
+                d.superblocks_assembled, f.superblocks_assembled,
+                "{tag} superblocks_assembled"
+            );
+            assert_eq!(d.write_latency.len(), f.write_latency.len(), "{tag} write samples");
+            assert_eq!(
+                d.write_latency.mean_us().to_bits(),
+                f.write_latency.mean_us().to_bits(),
+                "{tag} write mean drifted"
+            );
+            assert_eq!(
+                d.write_latency.quantile_us(0.99).to_bits(),
+                f.write_latency.quantile_us(0.99).to_bits(),
+                "{tag} write p99 drifted"
+            );
+            assert_eq!(
+                d.write_latency.max_us().to_bits(),
+                f.write_latency.max_us().to_bits(),
+                "{tag} write max drifted"
+            );
+            assert_eq!(d.read_latency.len(), f.read_latency.len(), "{tag} read samples");
+            assert_eq!(
+                d.read_latency.mean_us().to_bits(),
+                f.read_latency.mean_us().to_bits(),
+                "{tag} read mean drifted"
+            );
+            assert_eq!(d.busy_us.to_bits(), f.busy_us.to_bits(), "{tag} busy_us drifted");
+            assert_eq!(d.idle_gc_us.to_bits(), f.idle_gc_us.to_bits(), "{tag} idle_gc_us drifted");
+            assert_eq!(d.makespan_us.to_bits(), f.makespan_us.to_bits(), "{tag} makespan drifted");
+            assert_eq!(d.waf().to_bits(), f.waf().to_bits(), "{tag} WAF drifted");
+            assert_eq!(
+                d.extra_program_per_op_us().to_bits(),
+                f.extra_program_per_op_us().to_bits(),
+                "{tag} extra PGM drifted"
+            );
+            assert_eq!(d.trim_wait_us.to_bits(), f.trim_wait_us.to_bits(), "{tag} trim wait");
+            assert_eq!(d.queue_wait_us.to_bits(), f.queue_wait_us.to_bits(), "{tag} queue wait");
+            assert_eq!(d.queue_depth_max, f.queue_depth_max, "{tag} device queue depth");
+            for (i, (a, b)) in d.chip_busy_us.iter().zip(&f.chip_busy_us).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{tag} chip_busy_us[{i}] drifted");
+            }
+            assert_eq!(d.chip_busy_us.len(), f.chip_busy_us.len(), "{tag} chip clock count");
+
+            // The frontend's own per-tenant histogram must agree with the
+            // device's: with submit == arrival the end-to-end write latency
+            // is wait + service, exactly what the device records.
+            let t = front.tenant_stats(0);
+            assert_eq!(t.completed as usize, timed.len(), "{tag} tenant completions");
+            assert_eq!(t.backpressured, 0, "{tag} unbounded queue never backpressures");
+            assert_eq!(t.write_latency.len(), f.write_latency.len(), "{tag} tenant write samples");
+            assert_eq!(
+                t.write_latency.mean_us().to_bits(),
+                f.write_latency.mean_us().to_bits(),
+                "{tag} tenant write mean matches device"
+            );
+            assert_eq!(
+                t.read_latency.mean_us().to_bits(),
+                f.read_latency.mean_us().to_bits(),
+                "{tag} tenant read mean matches device"
+            );
+        }
+    }
+}
