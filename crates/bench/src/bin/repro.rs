@@ -12,9 +12,11 @@
 //! * `--groups N`    independent 4-pool groups to average (default 3; the paper's 24 chips correspond to 6)
 //! * `--blocks N`    blocks per pool (default 1600)
 //! * `--pe-step N`   P/E sweep step for table experiments (default 1500)
+//! * `--engine E`    replay engine for `queueing`/`tenants`: `stepper` (default) or `batched` (bit-identical rows, faster)
 //! * `--out DIR`     output directory (default `results`)
 
 use flash_model::{CellType, Geometry};
+use ftl::EngineMode;
 use repro_bench::experiments as exp;
 use repro_bench::report::{pct, us, TextTable};
 use repro_bench::runner::ExperimentParams;
@@ -25,6 +27,7 @@ struct Cli {
     params: ExperimentParams,
     out: PathBuf,
     quick: bool,
+    engine: EngineMode,
 }
 
 fn parse_cli() -> Cli {
@@ -34,11 +37,20 @@ fn parse_cli() -> Cli {
     let mut blocks = 1600u32;
     let mut pe_step = 1500u32;
     let mut quick = false;
+    let mut engine = EngineMode::Stepper;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--engine" => {
+                i += 1;
+                engine = match args[i].as_str() {
+                    "stepper" => EngineMode::Stepper,
+                    "batched" => EngineMode::Batched,
+                    other => panic!("--engine takes 'stepper' or 'batched', got {other:?}"),
+                };
+            }
             "--groups" => {
                 i += 1;
                 groups = args[i].parse().expect("--groups takes a number");
@@ -100,7 +112,7 @@ fn parse_cli() -> Cli {
         ..ExperimentParams::default()
     };
     params.config.geometry = Geometry::new(4, 1, blocks, 96, 4, CellType::Tlc);
-    Cli { commands, params, out, quick }
+    Cli { commands, params, out, quick, engine }
 }
 
 fn comparison_table(title: &str, r: &exp::ComparisonResult, out: &Path, file: &str) {
@@ -441,7 +453,7 @@ fn main() {
             // service time) so the serial and per-chip clocks separate.
             let geo = Geometry::new(4, 1, 48, 24, 4, CellType::Tlc);
             let writes = if cli.quick { 20_000 } else { 60_000 };
-            let rows = exp::queueing_experiment(&geo, writes, 7, 30.0);
+            let rows = exp::queueing_experiment(&geo, writes, 7, 30.0, cli.engine);
             let mut t = TextTable::new([
                 "Scheme",
                 "Model",
@@ -477,7 +489,7 @@ fn main() {
             // luck — see `tenants_experiment` for why.
             let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
             let per_tenant = if cli.quick { 1_200 } else { 2_000 };
-            let rows = exp::tenants_experiment(&geo, per_tenant, 7, 2500.0);
+            let rows = exp::tenants_experiment(&geo, per_tenant, 7, 2500.0, cli.engine);
             let mut t = TextTable::new([
                 "Scheme",
                 "Arb",

@@ -7,7 +7,8 @@ use crate::runner::{
 };
 use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
 use ftl::{
-    poisson_arrivals, FtlConfig, IoOp, OrganizationScheme, QosClass, QueueModel, Ssd, Workload,
+    poisson_arrivals, EngineMode, FtlConfig, IoOp, OrganizationScheme, QosClass, QueueModel, Ssd,
+    Workload,
 };
 use host::{Arbitration, HostFrontend, TenantSpec};
 use pvcheck::assembly::Assembler;
@@ -425,6 +426,10 @@ pub struct QueueingRow {
 /// independent chips and must finish no later than the serial clock — and
 /// well before the sum of per-op service times once the device saturates.
 ///
+/// `engine` picks the replay engine; both produce bit-identical rows
+/// (that is the batched engine's contract), so the choice only moves
+/// wall-clock time.
+///
 /// # Panics
 ///
 /// Panics if the simulated device rejects the workload (an internal bug).
@@ -434,6 +439,7 @@ pub fn queueing_experiment(
     writes: usize,
     seed: u64,
     mean_gap_us: f64,
+    engine: EngineMode,
 ) -> Vec<QueueingRow> {
     let schemes = [
         OrganizationScheme::Random,
@@ -451,6 +457,7 @@ pub fn queueing_experiment(
                 },
                 scheme,
                 queue_model,
+                engine,
                 ..FtlConfig::small_test()
             };
             let mut ssd = Ssd::new(config, seed).expect("experiment config is valid");
@@ -538,6 +545,9 @@ pub struct TenantRow {
 /// per-tenant mean gap of `3 * mean_gap_us` (aggregate load matches a
 /// single stream at `mean_gap_us`).
 ///
+/// `engine` picks the replay engine; both produce bit-identical rows, so
+/// the choice only moves wall-clock time.
+///
 /// # Panics
 ///
 /// Panics if the simulated device rejects the workload (an internal bug).
@@ -547,6 +557,7 @@ pub fn tenants_experiment(
     writes_per_tenant: usize,
     seed: u64,
     mean_gap_us: f64,
+    engine: EngineMode,
 ) -> Vec<TenantRow> {
     const REPLICATES: u64 = 5;
     let schemes = [OrganizationScheme::Sequential, OrganizationScheme::QstrMed { candidates: 4 }];
@@ -564,6 +575,7 @@ pub fn tenants_experiment(
                     },
                     scheme,
                     queue_model: QueueModel::PerChip,
+                    engine,
                     // Collect in arrival gaps if the workload ever does
                     // outgrow the free pool.
                     idle_gc: true,
@@ -1131,7 +1143,7 @@ mod tests {
     #[test]
     fn queueing_experiment_overlaps_chips() {
         let geo = Geometry::new(4, 1, 24, 8, 4, flash_model::CellType::Tlc);
-        let rows = queueing_experiment(&geo, 8_000, 7, 30.0);
+        let rows = queueing_experiment(&geo, 8_000, 7, 30.0, EngineMode::Stepper);
         assert_eq!(rows.len(), 6);
         for pair in rows.chunks(2) {
             let (single, per_chip) = (&pair[0], &pair[1]);

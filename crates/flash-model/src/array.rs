@@ -8,7 +8,7 @@ use crate::error::FlashError;
 use crate::fault::{FaultConfig, FaultInjector};
 use crate::geometry::Geometry;
 use crate::ids::{BlockAddr, PageAddr, WlAddr};
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyCache, LatencyModel};
 use crate::spor::{PageOob, SealRecord};
 use crate::Result;
 
@@ -73,6 +73,10 @@ pub struct FlashArray {
     /// survives sudden power loss (the flush is covered by the SSD's
     /// power-loss-protection capacitors, as on real drives).
     seals: Vec<SealRecord>,
+    /// Optional prefix memoization for program/erase latency synthesis
+    /// ([`FlashArray::set_fast_latency`]); bit-identical to the uncached
+    /// model, so enabling it never changes any reported latency.
+    fast_latency: Option<LatencyCache>,
 }
 
 impl FlashArray {
@@ -95,7 +99,18 @@ impl FlashArray {
             fault: FaultInjector::new(fault, seed),
             blocks,
             seals: Vec::new(),
+            fast_latency: None,
         }
+    }
+
+    /// Turns prefix memoization of program/erase latency synthesis on or
+    /// off. The cache is an optimization only: every latency it returns is
+    /// bit-identical to the uncached [`LatencyModel`] query, so this flag
+    /// never changes simulation results — it trades a dense `f64` table per
+    /// (block, word-line) for skipping the static sampler draws on every
+    /// program and erase. Toggling clears the cache.
+    pub fn set_fast_latency(&mut self, enabled: bool) {
+        self.fast_latency = enabled.then(|| LatencyCache::new(self.model.geometry()));
     }
 
     /// The fault oracle this array draws media failures from.
@@ -186,7 +201,10 @@ impl FlashArray {
             return Err(FlashError::EraseFailed { addr });
         }
         self.blocks[idx].erase();
-        Ok(self.model.erase_latency_us(addr, pe))
+        Ok(match &mut self.fast_latency {
+            Some(cache) => cache.erase_latency_us(&self.model, addr, pe),
+            None => self.model.erase_latency_us(addr, pe),
+        })
     }
 
     /// Programs one logical word-line with one payload tag per page,
@@ -244,7 +262,10 @@ impl FlashArray {
             return Err(FlashError::ProgramFailed { wl });
         }
         self.blocks[idx].program_wl(&geo, wl.block, wl.lwl, data, oob)?;
-        Ok(self.model.program_latency_us(wl, pe))
+        Ok(match &mut self.fast_latency {
+            Some(cache) => cache.program_latency_us(&self.model, wl, pe),
+            None => self.model.program_latency_us(wl, pe),
+        })
     }
 
     /// Marks a word-line torn by a sudden power loss mid-program: its pages
@@ -730,6 +751,31 @@ mod tests {
         a.erase_block(b).unwrap();
         assert_eq!(a.torn_lwl(b).unwrap(), None);
         a.program_wl(b.wl(LwlId(0)), &[4, 5, 6]).unwrap();
+    }
+
+    #[test]
+    fn fast_latency_cache_is_bit_identical_end_to_end() {
+        let mut plain = array();
+        let mut fast = array();
+        fast.set_fast_latency(true);
+        for round in 0..3u64 {
+            for c in 0..4 {
+                let b = blk(c, 2);
+                assert_eq!(
+                    plain.erase_block(b).unwrap().to_bits(),
+                    fast.erase_block(b).unwrap().to_bits(),
+                    "erase chip {c} round {round}"
+                );
+                for lwl in 0..4 {
+                    let wl = b.wl(LwlId(lwl));
+                    assert_eq!(
+                        plain.program_wl(wl, &[1, 2, 3]).unwrap().to_bits(),
+                        fast.program_wl(wl, &[1, 2, 3]).unwrap().to_bits(),
+                        "program {wl} round {round}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -215,6 +215,20 @@ impl LatencyModel {
     /// Panics if the address is out of range for the geometry.
     #[must_use]
     pub fn program_latency_us(&self, wl: WlAddr, pe: u32) -> f64 {
+        self.program_latency_from_prefix_us(self.program_prefix_us(wl), wl, pe)
+    }
+
+    /// The wear-independent part of [`Self::program_latency_us`]: layer
+    /// base plus block speed plus string-pattern penalty, summed in the
+    /// same left-to-right order as the full synthesis so caching the
+    /// prefix and finishing with [`Self::program_latency_from_prefix_us`]
+    /// is bit-identical to the one-shot call. Constant per `(block, lwl)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range for the geometry.
+    #[must_use]
+    pub fn program_prefix_us(&self, wl: WlAddr) -> f64 {
         assert!(self.geo.contains_block(wl.block), "address {wl} out of range");
         let v = &self.var;
         let layer = self.geo.layer_of(wl.lwl);
@@ -226,12 +240,23 @@ impl LatencyModel {
         } else {
             v.pattern_penalty_us
         };
+        base + speed + pattern
+    }
+
+    /// Finishes a program-latency synthesis from a cached
+    /// [`Self::program_prefix_us`] value: adds the per-(lwl, P/E) noise draw
+    /// and the wear trend, then quantizes. `program_latency_from_prefix_us(
+    /// program_prefix_us(wl), wl, pe)` equals `program_latency_us(wl, pe)`
+    /// to the bit.
+    #[must_use]
+    pub fn program_latency_from_prefix_us(&self, prefix: f64, wl: WlAddr, pe: u32) -> f64 {
+        let v = &self.var;
         let [c, p, b] = Self::block_tags(wl.block);
         let noise = v.noise_sigma_us
             * self.wear_noise_factor(pe)
             * self.sampler.normal(&[TAG_NOISE, c, p, b, u64::from(wl.lwl.0), u64::from(pe)]);
         let wear = -v.wear_prog_slope_us_per_kpe * f64::from(pe) / 1000.0;
-        Self::quantize(base + speed + pattern + noise + wear, v.pulse_us).max(v.pulse_us)
+        Self::quantize(prefix + noise + wear, v.pulse_us).max(v.pulse_us)
     }
 
     /// Erase latency of one block at the given P/E cycle, µs.
@@ -241,6 +266,19 @@ impl LatencyModel {
     /// Panics if the address is out of range for the geometry.
     #[must_use]
     pub fn erase_latency_us(&self, addr: BlockAddr, pe: u32) -> f64 {
+        self.erase_latency_from_prefix_us(self.erase_prefix_us(addr), addr, pe)
+    }
+
+    /// The wear-independent part of [`Self::erase_latency_us`]: base + chip
+    /// offset + block deviation + outlier tail, in the full synthesis's
+    /// left-to-right order so the prefix can be cached per block and
+    /// finished with [`Self::erase_latency_from_prefix_us`] bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range for the geometry.
+    #[must_use]
+    pub fn erase_prefix_us(&self, addr: BlockAddr) -> f64 {
         assert!(self.geo.contains_block(addr), "address {addr} out of range");
         let v = &self.var;
         let [c, p, b] = Self::block_tags(addr);
@@ -256,12 +294,21 @@ impl LatencyModel {
         } else {
             0.0
         };
+        v.ers_base_us + chip_off + dev + outlier
+    }
+
+    /// Finishes an erase-latency synthesis from a cached
+    /// [`Self::erase_prefix_us`] value; bit-identical to
+    /// [`Self::erase_latency_us`].
+    #[must_use]
+    pub fn erase_latency_from_prefix_us(&self, prefix: f64, addr: BlockAddr, pe: u32) -> f64 {
+        let v = &self.var;
+        let [c, p, b] = Self::block_tags(addr);
         let noise = v.ers_noise_sigma_us
             * self.wear_noise_factor(pe)
             * self.sampler.normal(&[TAG_ERS_NOISE, c, p, b, u64::from(pe)]);
         let wear = v.wear_ers_slope_us_per_kpe * f64::from(pe) / 1000.0;
-        Self::quantize(v.ers_base_us + chip_off + dev + outlier + noise + wear, v.ers_quantum_us)
-            .max(v.ers_quantum_us)
+        Self::quantize(prefix + noise + wear, v.ers_quantum_us).max(v.ers_quantum_us)
     }
 
     /// Read latency of one page at the given P/E cycle, µs.
@@ -294,6 +341,72 @@ impl LatencyModel {
     #[must_use]
     pub fn block_program_sum_us(&self, addr: BlockAddr, pe: u32) -> f64 {
         self.geo.lwls().map(|lwl| self.program_latency_us(addr.wl(lwl), pe)).sum()
+    }
+}
+
+/// Memoized static prefixes of program/erase synthesis.
+///
+/// Profiling a saturated replay shows most of the per-op cost is the 5–7
+/// hash-sampler draws behind [`LatencyModel::program_latency_us`]; all but
+/// the noise draw are constant per `(block, lwl)` (program) or per block
+/// (erase). This cache stores those prefixes in dense tables (NaN =
+/// unfilled) and finishes each query with the `*_from_prefix_us` methods,
+/// so results stay bit-identical to the uncached model while steady-state
+/// queries pay one draw instead of many.
+///
+/// Read latency is already a single draw and is not cached.
+#[derive(Debug, Clone)]
+pub struct LatencyCache {
+    /// `prog_prefix[block_index * lwls_per_block + lwl]`; NaN = unfilled.
+    prog_prefix: Vec<f64>,
+    /// `ers_prefix[block_index]`; NaN = unfilled.
+    ers_prefix: Vec<f64>,
+    lwls_per_block: usize,
+}
+
+impl LatencyCache {
+    /// An empty cache sized for `geo`'s dense block/word-line index space.
+    #[must_use]
+    pub fn new(geo: &Geometry) -> Self {
+        let blocks = geo.total_blocks() as usize;
+        let lwls_per_block = geo.lwls_per_block() as usize;
+        LatencyCache {
+            prog_prefix: vec![f64::NAN; blocks * lwls_per_block],
+            ers_prefix: vec![f64::NAN; blocks],
+            lwls_per_block,
+        }
+    }
+
+    /// Cached-prefix equivalent of [`LatencyModel::program_latency_us`];
+    /// bit-identical to it by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range for the model's geometry.
+    pub fn program_latency_us(&mut self, model: &LatencyModel, wl: WlAddr, pe: u32) -> f64 {
+        let idx = model.geometry().block_index(wl.block) * self.lwls_per_block + wl.lwl.0 as usize;
+        let mut prefix = self.prog_prefix[idx];
+        if prefix.is_nan() {
+            prefix = model.program_prefix_us(wl);
+            self.prog_prefix[idx] = prefix;
+        }
+        model.program_latency_from_prefix_us(prefix, wl, pe)
+    }
+
+    /// Cached-prefix equivalent of [`LatencyModel::erase_latency_us`];
+    /// bit-identical to it by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range for the model's geometry.
+    pub fn erase_latency_us(&mut self, model: &LatencyModel, addr: BlockAddr, pe: u32) -> f64 {
+        let idx = model.geometry().block_index(addr);
+        let mut prefix = self.ers_prefix[idx];
+        if prefix.is_nan() {
+            prefix = model.erase_prefix_us(addr);
+            self.ers_prefix[idx] = prefix;
+        }
+        model.erase_latency_from_prefix_us(prefix, addr, pe)
     }
 }
 
@@ -518,6 +631,69 @@ mod tests {
             assert!(f < m.variation().pattern_families);
             assert_eq!(f, m.pattern_family(blk(1, b)));
         }
+    }
+
+    #[test]
+    fn cached_program_latency_is_bit_identical() {
+        let m = model();
+        let mut cache = LatencyCache::new(m.geometry());
+        let geo = m.geometry().clone();
+        for c in 0..geo.chips() {
+            for b in 0..8 {
+                for lwl in geo.lwls() {
+                    let wl = blk(c, b).wl(lwl);
+                    for pe in [0u32, 1, 7, 100, 3000] {
+                        // Query twice: first fills the prefix, second hits it.
+                        assert_eq!(
+                            cache.program_latency_us(&m, wl, pe).to_bits(),
+                            m.program_latency_us(wl, pe).to_bits(),
+                            "{wl} pe={pe}"
+                        );
+                        assert_eq!(
+                            cache.program_latency_us(&m, wl, pe).to_bits(),
+                            m.program_latency_us(wl, pe).to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_erase_latency_is_bit_identical() {
+        let m = model();
+        let mut cache = LatencyCache::new(m.geometry());
+        for c in 0..m.geometry().chips() {
+            for b in 0..16 {
+                for pe in [0u32, 1, 42, 2000] {
+                    assert_eq!(
+                        cache.erase_latency_us(&m, blk(c, b), pe).to_bits(),
+                        m.erase_latency_us(blk(c, b), pe).to_bits()
+                    );
+                    assert_eq!(
+                        cache.erase_latency_us(&m, blk(c, b), pe).to_bits(),
+                        m.erase_latency_us(blk(c, b), pe).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_split_reassembles_exactly() {
+        let m = model();
+        let wl = blk(1, 5).wl(LwlId(3));
+        let prefix = m.program_prefix_us(wl);
+        assert_eq!(
+            m.program_latency_from_prefix_us(prefix, wl, 250).to_bits(),
+            m.program_latency_us(wl, 250).to_bits()
+        );
+        let a = blk(2, 9);
+        let eprefix = m.erase_prefix_us(a);
+        assert_eq!(
+            m.erase_latency_from_prefix_us(eprefix, a, 250).to_bits(),
+            m.erase_latency_us(a, 250).to_bits()
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use ids::{
     BlockAddr, BlockId, CellType, ChipId, LwlId, PageAddr, PageType, PlaneId, PwlLayer, StringId,
     WlAddr,
 };
-pub use latency::LatencyModel;
+pub use latency::{LatencyCache, LatencyModel};
 pub use retry::RetryModel;
 pub use sampler::Sampler;
 pub use spor::{BlockSummaryRecord, PageOob, SealRecord};

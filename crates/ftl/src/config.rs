@@ -2,7 +2,7 @@
 
 use crate::gc::GcPolicy;
 use crate::recovery::SporConfig;
-use crate::timing::QueueModel;
+use crate::timing::{EngineMode, QueueModel};
 use flash_model::{FaultConfig, FlashConfig, RetryModel};
 
 /// How free blocks are organized into superblocks.
@@ -118,6 +118,15 @@ pub struct FtlConfig {
     /// operations on other chips proceed. Untimed [`crate::Ssd::run`] is
     /// unaffected.
     pub queue_model: QueueModel,
+    /// Replay engine for [`crate::Ssd::run_timed`] and the host frontend.
+    /// `Stepper` (the default) is the original one-op-at-a-time loop and
+    /// stays byte-for-byte untouched; `Batched` drives the same request
+    /// sequence through the event-driven core (calendar-queue completion
+    /// tracking, batched admission, prefix-cached latency synthesis,
+    /// incremental checkpoints, struct-of-arrays stat accumulators folded at
+    /// `timed_end`). Every statistic the two engines produce is bit-identical
+    /// — the stepper is the batched engine's golden oracle.
+    pub engine: EngineMode,
     /// Media fault injection (disabled by default: perfect media, and the
     /// read path skips its ECC consult entirely so results stay
     /// bit-identical to a fault-free build).
@@ -154,6 +163,7 @@ impl FtlConfig {
             precharacterize: true,
             idle_gc: false,
             queue_model: QueueModel::Single,
+            engine: EngineMode::Stepper,
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
             spor: SporConfig::default(),
@@ -221,6 +231,7 @@ impl Default for FtlConfig {
             precharacterize: true,
             idle_gc: false,
             queue_model: QueueModel::Single,
+            engine: EngineMode::Stepper,
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
             spor: SporConfig::default(),

@@ -8,8 +8,12 @@ use crate::manager::{speed_class_for, BlockManager};
 use crate::mapping::Mapping;
 use crate::recovery::{Checkpoint, JournalEntry, RecoveryReport, SporState};
 use crate::request::{IoOp, IoRequest};
+use crate::sched::DepthTracker;
 use crate::stats::SsdStats;
-use crate::timing::{EngineState, InFlight, QueueModel, TimedOutcome, TouchLog, CONTROLLER};
+use crate::timing::{
+    BatchedSamples, EngineMode, EngineState, InFlight, QueueModel, TimedOutcome, TouchLog,
+    CONTROLLER,
+};
 use crate::wear_level::WearTracker;
 use crate::Result;
 use flash_model::{
@@ -72,6 +76,16 @@ pub struct Ssd {
     /// Clock state of an in-progress incremental timed replay
     /// ([`Ssd::timed_begin`] … [`Ssd::timed_end`]); `None` outside one.
     engine: Option<EngineState>,
+    /// True while a batched replay is live: the write/read paths skip their
+    /// per-op histogram `record` and the replay step collects the sample in
+    /// its struct-of-arrays accumulator instead (folded at `timed_end`).
+    defer_hist: bool,
+    /// Batched-engine checkpoint accelerator: `fast_ckpt[lpn]` mirrors the
+    /// OOB write sequence of the page `lpn` currently maps to, maintained
+    /// at `apply_assignments` time so `take_checkpoint` skips its per-page
+    /// OOB read. `Some` only when `engine = Batched` and SPOR is enabled;
+    /// checkpoint contents stay exactly equal to the stepper's.
+    fast_ckpt: Option<Vec<u64>>,
 }
 
 /// Exact `floor(physical_pages * (1 - overprovision))` in integer
@@ -109,7 +123,13 @@ impl Ssd {
     /// Returns [`FtlError::InvalidConfig`] for inconsistent configurations.
     pub fn new(config: FtlConfig, seed: u64) -> Result<Ssd> {
         config.validate().map_err(|reason| FtlError::InvalidConfig { reason })?;
-        let array = FlashArray::with_faults(config.flash.clone(), seed, config.fault.clone());
+        let mut array = FlashArray::with_faults(config.flash.clone(), seed, config.fault.clone());
+        if config.engine == EngineMode::Batched {
+            // Bit-identical prefix memoization of program/erase synthesis;
+            // kept off under the stepper so the oracle stays on the original
+            // code path.
+            array.set_fast_latency(true);
+        }
         let geo = array.geometry().clone();
         let physical_pages = geo.total_blocks() * u64::from(geo.pages_per_block());
         let logical_pages = logical_capacity(physical_pages, config.overprovision);
@@ -124,6 +144,8 @@ impl Ssd {
             manager.promote_known();
         }
         let spor = SporState::new(&config.spor);
+        let fast_ckpt = (config.engine == EngineMode::Batched && config.spor.enabled)
+            .then(|| vec![0u64; usize::try_from(logical_pages).expect("capacity fits usize")]);
         Ok(Ssd {
             config,
             array,
@@ -141,6 +163,8 @@ impl Ssd {
             sb_seq: 0,
             spor,
             engine: None,
+            defer_hist: false,
+            fast_ckpt,
         })
     }
 
@@ -183,6 +207,14 @@ impl Ssd {
         self.manager.distance_checks()
     }
 
+    /// Which replay engine this device was configured with. External
+    /// dispatchers (the host frontend) use this to pick their matching
+    /// drain loop.
+    #[must_use]
+    pub fn engine(&self) -> EngineMode {
+        self.config.engine
+    }
+
     /// Executes an open-loop request stream with arrival times: recorded
     /// latencies include queueing delay, so GC pauses and slow superblocks
     /// show up in the tail percentiles. [`FtlConfig::queue_model`] selects
@@ -218,11 +250,11 @@ impl Ssd {
     ///
     /// Beginning a new replay while one is in progress resets the clocks.
     pub fn timed_begin(&mut self) {
-        let engine = match self.config.queue_model {
-            QueueModel::Single => {
+        let engine = match (self.config.engine, self.config.queue_model) {
+            (EngineMode::Stepper, QueueModel::Single) => {
                 EngineState::Single { device_free_at: 0.0, in_flight: InFlight::default() }
             }
-            QueueModel::PerChip => {
+            (EngineMode::Stepper, QueueModel::PerChip) => {
                 self.touches.set_enabled(true);
                 let groups = self.array.geometry().chip_plane_groups();
                 if self.stats.chip_busy_us.len() != groups + 1 {
@@ -235,6 +267,31 @@ impl Ssd {
                     buf: Vec::new(),
                     in_flight: InFlight::default(),
                     makespan: 0.0,
+                }
+            }
+            (EngineMode::Batched, QueueModel::Single) => {
+                self.defer_hist = true;
+                EngineState::BatchedSingle {
+                    device_free_at: 0.0,
+                    in_flight: DepthTracker::new(),
+                    samples: BatchedSamples::default(),
+                }
+            }
+            (EngineMode::Batched, QueueModel::PerChip) => {
+                self.defer_hist = true;
+                self.touches.set_enabled(true);
+                let groups = self.array.geometry().chip_plane_groups();
+                if self.stats.chip_busy_us.len() != groups + 1 {
+                    self.stats.chip_busy_us = vec![0.0; groups + 1];
+                }
+                EngineState::BatchedPerChip {
+                    busy: vec![0.0f64; groups + 1],
+                    agg: vec![0.0f64; groups + 1],
+                    touched: Vec::with_capacity(groups + 1),
+                    buf: Vec::new(),
+                    in_flight: DepthTracker::new(),
+                    makespan: 0.0,
+                    samples: BatchedSamples::default(),
                 }
             }
         };
@@ -273,6 +330,19 @@ impl Ssd {
                 .timed_step_per_chip(
                     arrival, r, class, busy, agg, touched, buf, in_flight, makespan,
                 ),
+            EngineState::BatchedSingle { device_free_at, in_flight, samples } => self
+                .timed_step_batched_single(arrival, r, class, device_free_at, in_flight, samples),
+            EngineState::BatchedPerChip {
+                busy,
+                agg,
+                touched,
+                buf,
+                in_flight,
+                makespan,
+                samples,
+            } => self.timed_step_batched_per_chip(
+                arrival, r, class, busy, agg, touched, buf, in_flight, makespan, samples,
+            ),
         };
         self.engine = Some(engine);
         result
@@ -291,8 +361,28 @@ impl Ssd {
                 self.stats.makespan_us = self.stats.makespan_us.max(makespan.max(busiest));
                 self.touches.set_enabled(false);
             }
+            Some(EngineState::BatchedSingle { device_free_at, samples, .. }) => {
+                self.stats.makespan_us = self.stats.makespan_us.max(device_free_at);
+                self.fold_samples(samples);
+            }
+            Some(EngineState::BatchedPerChip { busy, makespan, samples, .. }) => {
+                let busiest = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+                self.stats.makespan_us = self.stats.makespan_us.max(makespan.max(busiest));
+                self.touches.set_enabled(false);
+                self.fold_samples(samples);
+            }
             None => {}
         }
+    }
+
+    /// Folds a batched replay's struct-of-arrays latency samples into the
+    /// histograms (one bulk append per histogram, same values in the same
+    /// order the stepper would have recorded them) and re-arms per-op
+    /// recording.
+    fn fold_samples(&mut self, samples: BatchedSamples) {
+        self.stats.write_latency.extend(&samples.write);
+        self.stats.read_latency.extend(&samples.read);
+        self.defer_hist = false;
     }
 
     /// Upgrades the service-only latency sample of a timed request to the
@@ -437,6 +527,148 @@ impl Ssd {
         })
     }
 
+    /// Deferred twin of [`Ssd::record_timed_latency`]: scalar wait counters
+    /// update inline (their running-sum order must match the stepper's), but
+    /// the histogram sample lands in the replay's struct-of-arrays
+    /// accumulator instead of the histogram — the write/read paths skipped
+    /// their `record` under [`Ssd::defer_hist`], so pushing the final
+    /// queue-inclusive value here reproduces the stepper's
+    /// `record`-then-`replace_last` sequence exactly.
+    fn record_timed_latency_deferred(
+        &mut self,
+        op: IoOp,
+        wait: f64,
+        service: f64,
+        samples: &mut BatchedSamples,
+    ) {
+        self.stats.queue_wait_us += wait;
+        match op {
+            IoOp::Write => samples.write.push(wait + service),
+            IoOp::Read if service > 0.0 => samples.read.push(wait + service),
+            IoOp::Read => samples.read.push(wait),
+            IoOp::Trim => self.stats.trim_wait_us += wait,
+        }
+    }
+
+    /// One step of the batched scalar-clock replay. The clock arithmetic is
+    /// the stepper's ([`Ssd::timed_step_single`]) operation for operation;
+    /// only the bookkeeping around it changes (calendar-queue completions,
+    /// deferred histogram samples), so every stat folds out bit-identical.
+    fn timed_step_batched_single(
+        &mut self,
+        arrival: f64,
+        r: IoRequest,
+        class: QosClass,
+        device_free_at: &mut f64,
+        in_flight: &mut DepthTracker,
+        samples: &mut BatchedSamples,
+    ) -> Result<TimedOutcome> {
+        if self.config.idle_gc {
+            while *device_free_at < arrival
+                && self.manager.assemblable() < self.config.gc_high_watermark
+            {
+                match self.gc_once()? {
+                    Some(t) => {
+                        *device_free_at += t;
+                        self.stats.idle_gc_us += t;
+                    }
+                    None => break,
+                }
+            }
+        }
+        let start = device_free_at.max(arrival);
+        let wait = start - arrival;
+        let service = match r.op {
+            IoOp::Write => self.write_with_class(r.lpn, class)?,
+            IoOp::Read => self.read(r.lpn)?.unwrap_or(0.0),
+            IoOp::Trim => {
+                self.trim(r.lpn)?;
+                0.0
+            }
+        };
+        self.record_timed_latency_deferred(r.op, wait, service, samples);
+        let depth = in_flight.arrive(arrival) as u64 + 1;
+        self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
+        *device_free_at = start + service;
+        in_flight.complete_at(*device_free_at);
+        Ok(TimedOutcome {
+            wait_us: wait,
+            service_us: service,
+            start_us: start,
+            completion_us: *device_free_at,
+        })
+    }
+
+    /// One step of the batched per-chip replay; clock math mirrors
+    /// [`Ssd::timed_step_per_chip`] exactly (including the direct per-op
+    /// `chip_busy_us` adds — folding those at `timed_end` would reassociate
+    /// the float sums and change bits).
+    #[allow(clippy::too_many_arguments)]
+    fn timed_step_batched_per_chip(
+        &mut self,
+        arrival: f64,
+        r: IoRequest,
+        class: QosClass,
+        busy: &mut [f64],
+        agg: &mut [f64],
+        touched: &mut Vec<usize>,
+        buf: &mut Vec<(usize, f64)>,
+        in_flight: &mut DepthTracker,
+        makespan: &mut f64,
+        samples: &mut BatchedSamples,
+    ) -> Result<TimedOutcome> {
+        let groups = busy.len() - 1;
+        if self.config.idle_gc {
+            while busy.iter().fold(0.0f64, |a, &b| a.max(b)) < arrival
+                && self.manager.assemblable() < self.config.gc_high_watermark
+            {
+                match self.gc_once()? {
+                    Some(t) => {
+                        self.stats.idle_gc_us += t;
+                        self.touches.take_into(buf);
+                        Self::aggregate_touches(buf, groups, agg, touched);
+                        let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                        for &g in touched.iter() {
+                            busy[g] = start + agg[g];
+                            self.stats.chip_busy_us[g] += agg[g];
+                            agg[g] = 0.0;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        let service = match r.op {
+            IoOp::Write => self.write_with_class(r.lpn, class)?,
+            IoOp::Read => self.read(r.lpn)?.unwrap_or(0.0),
+            IoOp::Trim => {
+                self.trim(r.lpn)?;
+                0.0
+            }
+        };
+        self.touches.take_into(buf);
+        Self::aggregate_touches(buf, groups, agg, touched);
+        let start = touched.iter().fold(arrival, |a, &g| a.max(busy[g]));
+        let wait = start - arrival;
+        for &g in touched.iter() {
+            busy[g] = start + agg[g];
+            self.stats.chip_busy_us[g] += agg[g];
+            agg[g] = 0.0;
+        }
+        self.record_timed_latency_deferred(r.op, wait, service, samples);
+        let depth = in_flight.arrive(arrival) as u64 + 1;
+        self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
+        let completion = start + service;
+        in_flight.complete_at(completion);
+        *makespan = makespan.max(completion);
+        Ok(TimedOutcome {
+            wait_us: wait,
+            service_us: service,
+            start_us: start,
+            completion_us: completion,
+        })
+    }
+
     /// Folds raw touch-log entries into per-group occupancy: `agg[g]` gets
     /// the summed duration and `touched` lists each group once. `CONTROLLER`
     /// touches map to slot `groups`.
@@ -549,7 +781,9 @@ impl Ssd {
         latency += self.stage_write(lpn, Purpose::Host(class))?;
         self.stats.host_writes += 1;
         self.stats.host_writes_by_class[class.index()] += 1;
-        self.stats.write_latency.record(latency);
+        if !self.defer_hist {
+            self.stats.write_latency.record(latency);
+        }
         self.stats.busy_us += latency;
         self.maybe_checkpoint()?;
         Ok(latency)
@@ -597,7 +831,9 @@ impl Ssd {
             }
         };
         self.stats.host_reads += 1;
-        self.stats.read_latency.record(latency);
+        if !self.defer_hist {
+            self.stats.read_latency.record(latency);
+        }
         self.stats.busy_us += latency;
         // Refresh relocations on the fault path may have programmed.
         self.maybe_checkpoint()?;
@@ -902,6 +1138,15 @@ impl Ssd {
         for &(lpn, ppa) in assignments {
             debug_assert_ne!(lpn, FILLER);
             self.mapping.map(lpn, ppa);
+            if let Some(table) = &mut self.fast_ckpt {
+                // Mirror the page's OOB write sequence so the next
+                // checkpoint reads it from RAM instead of the spare area.
+                // The table exists only when SPOR is on, so the OOB was
+                // just programmed alongside the payload.
+                let seq =
+                    self.array.read_oob(ppa).expect("programmed page carries OOB metadata").seq;
+                table[usize::try_from(lpn).expect("lpn fits usize")] = seq;
+            }
         }
     }
 
@@ -1027,7 +1272,13 @@ impl Ssd {
         let mut entries = Vec::new();
         for lpn in 0..self.logical_pages {
             if let Some(ppa) = self.mapping.lookup(lpn) {
-                let seq = self.array.read_oob(ppa)?.seq;
+                // The batched engine's sequence table mirrors the OOB at
+                // apply_assignments time; reading it back here produces the
+                // exact entries the OOB scan would.
+                let seq = match &self.fast_ckpt {
+                    Some(table) => table[usize::try_from(lpn).expect("lpn fits usize")],
+                    None => self.array.read_oob(ppa)?.seq,
+                };
                 entries.push((lpn, seq, Some(ppa)));
             } else if let Some(&seq) = self.spor.trim_seqs.get(&lpn) {
                 entries.push((lpn, seq, None));
@@ -1255,6 +1506,20 @@ impl Ssd {
         self.wear = WearTracker::new(self.config.wear_threshold);
         for addr in geo.blocks() {
             self.wear.set_erases(addr, self.array.pe_cycles(addr)?);
+        }
+        // Recovery rebuilt the mapping without going through
+        // apply_assignments, so the batched engine's sequence table must be
+        // refreshed from the recovered pages' OOB before the checkpoint
+        // below trusts it.
+        if self.fast_ckpt.is_some() {
+            let mut table = self.fast_ckpt.take().expect("checked is_some");
+            for lpn in 0..self.logical_pages {
+                if let Some(ppa) = self.mapping.lookup(lpn) {
+                    table[usize::try_from(lpn).expect("lpn fits usize")] =
+                        self.array.read_oob(ppa)?.seq;
+                }
+            }
+            self.fast_ckpt = Some(table);
         }
         // 8. Back to life: sequences continue past everything ever durably
         // assigned, and a fresh checkpoint bounds the next recovery's scan.

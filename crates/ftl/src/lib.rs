@@ -43,6 +43,7 @@ mod manager;
 mod mapping;
 mod recovery;
 mod request;
+pub mod sched;
 mod stats;
 mod timing;
 pub mod trace;
@@ -58,7 +59,7 @@ pub use mapping::Mapping;
 pub use recovery::{CrashPoint, RecoveryReport, SporConfig};
 pub use request::{IoOp, IoRequest};
 pub use stats::{LatencyHistogram, SsdStats};
-pub use timing::{QueueModel, TimedOutcome};
+pub use timing::{EngineMode, QueueModel, TimedOutcome};
 pub use wear_level::WearTracker;
 pub use workload::{mean_interarrival_us, poisson_arrivals, Workload};
 

@@ -50,6 +50,33 @@ impl LatencyHistogram {
         }
     }
 
+    /// Appends a batch of samples in order, invalidating the sorted cache
+    /// once for the whole batch. The struct-of-arrays accumulators of the
+    /// batched replay engine collect per-op samples in plain `Vec<f64>`s and
+    /// fold them in here at `timed_end`; appending the same values in the
+    /// same order as per-op [`LatencyHistogram::record`] calls leaves the
+    /// sample vector — and therefore every mean/quantile/max — bit-identical.
+    pub fn extend(&mut self, samples_us: &[f64]) {
+        if samples_us.is_empty() {
+            return;
+        }
+        self.sorted.take();
+        self.samples_us.extend_from_slice(samples_us);
+    }
+
+    /// Folds another histogram's samples into this one (append order:
+    /// `self`'s samples first, then `other`'s). One sort happens lazily at
+    /// the next quantile query — merging never re-sorts per insert.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.extend(&other.samples_us);
+    }
+
+    /// The recorded samples in insertion order.
+    #[must_use]
+    pub fn samples_us(&self) -> &[f64] {
+        &self.samples_us
+    }
+
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -322,6 +349,77 @@ mod tests {
         h.replace_last(0.5);
         assert_eq!(h.quantile_us(0.0), 0.5);
         assert_eq!(h.quantile_us(0.0), 0.5);
+    }
+
+    #[test]
+    fn extend_matches_per_sample_records_bit_for_bit() {
+        let batch = [120.0, 85.0, 310.0, 95.0, 85.0, 1e-300, 7.5e9];
+        let mut one_by_one = LatencyHistogram::new();
+        one_by_one.record(50.0);
+        for &v in &batch {
+            one_by_one.record(v);
+        }
+        let mut folded = LatencyHistogram::new();
+        folded.record(50.0);
+        folded.extend(&batch);
+        assert_eq!(folded.samples_us(), one_by_one.samples_us());
+        assert_eq!(folded.mean_us().to_bits(), one_by_one.mean_us().to_bits());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(folded.quantile_us(q).to_bits(), one_by_one.quantile_us(q).to_bits());
+        }
+        assert_eq!(folded.max_us().to_bits(), one_by_one.max_us().to_bits());
+    }
+
+    #[test]
+    fn extend_invalidates_a_warm_sort_cache() {
+        let mut h = LatencyHistogram::new();
+        h.record(5.0);
+        h.record(9.0);
+        assert_eq!(h.quantile_us(0.0), 5.0); // warm the cache
+        h.extend(&[1.0, 7.0]);
+        assert_eq!(h.quantile_us(0.0), 1.0, "cache must not serve stale order");
+        assert_eq!(h.quantile_us(1.0), 9.0);
+        // An empty extend is a true no-op: the warm cache survives.
+        h.extend(&[]);
+        assert_eq!(h.quantile_us(0.0), 1.0);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn merge_appends_other_samples_in_order() {
+        let mut a = LatencyHistogram::new();
+        a.record(3.0);
+        a.record(1.0);
+        let mut b = LatencyHistogram::new();
+        b.record(2.0);
+        b.record(4.0);
+        a.merge(&b);
+        assert_eq!(a.samples_us(), &[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(a.quantile_us(0.5), 3.0, "nearest rank over the merged sort");
+        assert_eq!(b.samples_us(), &[2.0, 4.0], "source histogram untouched");
+        // Merging an empty histogram changes nothing.
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn nearest_rank_edges_pin_after_fold() {
+        // The nearest-rank contract (index = round((len-1) * q)) must hold
+        // identically whether samples arrived one at a time or in a fold.
+        let mut h = LatencyHistogram::new();
+        h.extend(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(h.quantile_us(0.5), 30.0, "round(3 * 0.5) = 2");
+        assert_eq!(h.quantile_us(0.0), 10.0);
+        assert_eq!(h.quantile_us(1.0), 40.0);
+        assert_eq!(h.quantile_us(-0.5), 10.0);
+        assert_eq!(h.quantile_us(1.5), 40.0);
+        assert_eq!(h.quantile_us(f64::NAN), 10.0);
+        // Single-sample histograms answer that sample for every q.
+        let mut single = LatencyHistogram::new();
+        single.extend(&[42.0]);
+        for q in [0.0, 0.5, 1.0, f64::NAN, -3.0, 7.0] {
+            assert_eq!(single.quantile_us(q), 42.0);
+        }
     }
 
     #[test]

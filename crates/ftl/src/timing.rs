@@ -27,6 +27,34 @@ pub enum QueueModel {
     PerChip,
 }
 
+/// Which replay engine drives timed replays (orthogonal to [`QueueModel`]:
+/// both engines implement both queue models).
+///
+/// `Stepper` is the original per-op loop, kept untouched as the golden
+/// oracle; `Batched` is the event-driven core (see [`crate::sched`]) whose
+/// entire stat set is asserted bit-identical to the stepper's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Original one-op-at-a-time replay loop (golden oracle).
+    #[default]
+    Stepper,
+    /// Event-driven core: calendar-queue completion tracking, batched
+    /// admission, prefix-cached latency synthesis, incremental checkpoints,
+    /// SoA stat accumulators folded at `timed_end`.
+    Batched,
+}
+
+impl EngineMode {
+    /// Short machine-readable label (used in CSV output and CLI flags).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Stepper => "stepper",
+            EngineMode::Batched => "batched",
+        }
+    }
+}
+
 /// Sentinel group index for the host channel/controller resource (page
 /// transfers); replay maps it to the slot after the last chip/plane group.
 pub(crate) const CONTROLLER: usize = usize::MAX;
@@ -76,6 +104,53 @@ pub(crate) enum EngineState {
         /// Latest completion seen so far.
         makespan: f64,
     },
+    /// Event-driven scalar clock ([`EngineMode::Batched`] +
+    /// [`QueueModel::Single`]): same math as `Single`, but completions live
+    /// in a sorted-ring depth tracker and latency samples defer to SoA
+    /// accumulators.
+    BatchedSingle {
+        /// When the single command queue drains.
+        device_free_at: f64,
+        /// Sorted-ring completion tracker (same counts as [`InFlight`]).
+        in_flight: crate::sched::DepthTracker,
+        /// Deferred latency samples, folded into the histograms at
+        /// `timed_end`.
+        samples: BatchedSamples,
+    },
+    /// Event-driven per-chip clocks ([`EngineMode::Batched`] +
+    /// [`QueueModel::PerChip`]).
+    BatchedPerChip {
+        /// Busy-until clock per group; the last slot is the controller.
+        busy: Vec<f64>,
+        /// Scratch: summed occupancy per group for the current request.
+        agg: Vec<f64>,
+        /// Scratch: groups the current request touched.
+        touched: Vec<usize>,
+        /// Scratch: raw touch-log entries.
+        buf: Vec<(usize, f64)>,
+        /// Sorted-ring completion tracker (same counts as [`InFlight`]).
+        in_flight: crate::sched::DepthTracker,
+        /// Latest completion seen so far.
+        makespan: f64,
+        /// Deferred latency samples, folded into the histograms at
+        /// `timed_end`.
+        samples: BatchedSamples,
+    },
+}
+
+/// Struct-of-arrays latency accumulators of a batched replay: per-op
+/// samples pile up here in op order and fold into
+/// [`crate::LatencyHistogram`]s in one `extend` at `timed_end`, skipping a
+/// per-op cache invalidation and a `record`/`replace_last` pair while
+/// keeping the final sample vectors — and so every derived statistic —
+/// bit-identical to the stepper's.
+#[derive(Debug, Default)]
+pub(crate) struct BatchedSamples {
+    /// Queue-inclusive write latencies, in write order.
+    pub(crate) write: Vec<f64>,
+    /// Queue-inclusive read latencies (hits) and bare waits (misses), in
+    /// read order.
+    pub(crate) read: Vec<f64>,
 }
 
 /// Records which chip/plane groups each request occupies and for how long.

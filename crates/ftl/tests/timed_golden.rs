@@ -11,7 +11,7 @@
 //! as a read-latency sample, so the read histogram fields carry post-fix
 //! regression values while every other field pins the pre-change bits.
 
-use ftl::{poisson_arrivals, FtlConfig, IoOp, IoRequest, QueueModel, Ssd, Workload};
+use ftl::{poisson_arrivals, EngineMode, FtlConfig, IoOp, IoRequest, QueueModel, Ssd, Workload};
 
 /// Mixed open-loop workload over the small-test device: 3x-capacity random
 /// writes over half the LPNs with reads (hits and guaranteed misses) and
@@ -32,9 +32,14 @@ fn workload(dev: &Ssd) -> Vec<(f64, IoRequest)> {
 }
 
 fn run(idle_gc: bool, model: QueueModel) -> Ssd {
+    run_with(idle_gc, model, EngineMode::Stepper)
+}
+
+fn run_with(idle_gc: bool, model: QueueModel, engine: EngineMode) -> Ssd {
     let mut config = FtlConfig::small_test();
     config.idle_gc = idle_gc;
     config.queue_model = model;
+    config.engine = engine;
     let mut dev = Ssd::new(config, 3).unwrap();
     let timed = workload(&dev);
     dev.run_timed(&timed).unwrap();
@@ -105,10 +110,21 @@ const GOLDEN: [Golden; 2] = [
 
 #[test]
 fn single_queue_model_reproduces_prechange_bits() {
+    check_golden(EngineMode::Stepper);
+}
+
+#[test]
+fn batched_engine_reproduces_the_same_golden_bits() {
+    // The event-driven core is a drop-in twin: same GOLDEN table, no
+    // batched-specific constants to maintain.
+    check_golden(EngineMode::Batched);
+}
+
+fn check_golden(engine: EngineMode) {
     for g in &GOLDEN {
-        let dev = run(g.idle_gc, QueueModel::Single);
+        let dev = run_with(g.idle_gc, QueueModel::Single, engine);
         let s = dev.stats();
-        let tag = format!("idle_gc={}", g.idle_gc);
+        let tag = format!("engine={} idle_gc={}", engine.label(), g.idle_gc);
         assert_eq!(s.host_writes, g.host_writes, "{tag} host_writes");
         assert_eq!(s.host_reads, g.host_reads, "{tag} host_reads");
         assert_eq!(s.host_trims, g.host_trims, "{tag} host_trims");

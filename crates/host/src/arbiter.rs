@@ -89,11 +89,36 @@ impl Arbiter {
         if !ready.iter().any(|&r| r) {
             return None;
         }
+        self.pick_ready(|i| ready[i])
+    }
+
+    /// [`Arbiter::pick`] over a packed readiness bitmask (bit `i % 64` of
+    /// word `i / 64` marks queue `i` ready) — the representation the
+    /// batched frontend maintains incrementally instead of rebuilding a
+    /// `Vec<bool>` per dispatch. Picks are identical to [`Arbiter::pick`]
+    /// on the unpacked mask (`tests` pin this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ready` has fewer than `queues().div_ceil(64)` words.
+    pub fn pick_mask(&mut self, ready: &[u64]) -> Option<usize> {
+        let n = self.weights.len();
+        assert!(ready.len() >= n.div_ceil(64), "ready mask must cover every queue");
+        if ready.iter().all(|&w| w == 0) {
+            return None;
+        }
+        self.pick_ready(|i| ready[i / 64] & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Shared RR/WRR scan over an abstract readiness predicate; the caller
+    /// guarantees at least one queue is ready.
+    fn pick_ready(&mut self, ready: impl Fn(usize) -> bool) -> Option<usize> {
+        let n = self.weights.len();
         match self.kind {
             Arbitration::RoundRobin => {
                 for off in 1..=n {
                     let i = (self.cursor + off) % n;
-                    if ready[i] {
+                    if ready(i) {
                         self.cursor = i;
                         return Some(i);
                     }
@@ -103,7 +128,7 @@ impl Arbiter {
             Arbitration::WeightedRoundRobin => loop {
                 for off in 1..=n {
                     let i = (self.cursor + off) % n;
-                    if ready[i] && self.credits[i] > 0 {
+                    if ready(i) && self.credits[i] > 0 {
                         self.credits[i] -= 1;
                         self.cursor = i;
                         return Some(i);
@@ -194,5 +219,39 @@ mod tests {
     #[should_panic(expected = "weights must be at least 1")]
     fn zero_weight_is_rejected() {
         let _ = Arbiter::new(Arbitration::WeightedRoundRobin, vec![1, 0]);
+    }
+
+    #[test]
+    fn mask_pick_matches_bool_pick_in_lockstep() {
+        // Two arbiters, same weights, driven through a pseudo-random
+        // readiness history — the packed and unpacked masks must agree
+        // pick for pick (state carries across calls, so one divergence
+        // cascades).
+        for kind in [Arbitration::RoundRobin, Arbitration::WeightedRoundRobin] {
+            let weights = vec![3, 1, 2, 1, 5, 1, 1, 2];
+            let mut by_bool = Arbiter::new(kind, weights.clone());
+            let mut by_mask = Arbiter::new(kind, weights);
+            let mut state = 0x9e37_79b9_u64;
+            for step in 0..2000 {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let bits = (state >> 32) & 0xff;
+                let ready: Vec<bool> = (0..8).map(|i| bits & (1 << i) != 0).collect();
+                assert_eq!(
+                    by_bool.pick(&ready),
+                    by_mask.pick_mask(&[bits]),
+                    "{kind:?} diverged at step {step} (ready {bits:#010b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_pick_spans_multiple_words() {
+        // 70 queues forces a second mask word; only queue 69 is ready.
+        let mut arb = Arbiter::new(Arbitration::RoundRobin, vec![1; 70]);
+        let mut mask = [0u64; 2];
+        mask[1] = 1 << (69 - 64);
+        assert_eq!(arb.pick_mask(&mask), Some(69));
+        assert_eq!(arb.pick_mask(&[0, 0]), None);
     }
 }

@@ -1,9 +1,11 @@
 //! The multi-queue host frontend event loop.
 
 use crate::arbiter::{Arbiter, Arbitration};
-use crate::queue::{TenantSpec, TenantState, TenantStats};
+use crate::queue::{Queued, TenantSpec, TenantState, TenantStats};
+use ftl::sched::{Arena, CalendarQueue};
 use ftl::trace::TracedRequest;
-use ftl::{IoOp, IoRequest, Ssd};
+use ftl::{EngineMode, IoOp, IoRequest, Ssd};
+use std::collections::VecDeque;
 
 /// A multi-queue host frontend: one submission queue per tenant, feeding
 /// a single [`Ssd`] through a deterministic event loop.
@@ -102,9 +104,17 @@ impl HostFrontend {
     /// Routes parsed trace requests to their queues by tenant id (the
     /// trace's optional fourth column), pairing each with its arrival.
     ///
+    /// Legacy per-request path: each request is a one-element [`submit`],
+    /// which re-sorts the tenant's whole stream — O(n²·log n) over a long
+    /// trace. Kept as the reference the batched path is measured against;
+    /// new callers want [`submit_traced_batched`].
+    ///
     /// # Panics
     ///
     /// Panics if a tenant id is out of range for this frontend.
+    ///
+    /// [`submit`]: HostFrontend::submit
+    /// [`submit_traced_batched`]: HostFrontend::submit_traced_batched
     pub fn submit_traced(&mut self, requests: &[(f64, TracedRequest)]) {
         let n = self.tenants.len();
         for &(arrival, traced) in requests {
@@ -114,7 +124,40 @@ impl HostFrontend {
         }
     }
 
+    /// Batched twin of [`submit_traced`]: one routing pass plus a single
+    /// stable sort per tenant. Repeated stable sorting of a growing stream
+    /// equals one stable sort of the fully-appended stream, so the
+    /// resulting per-tenant streams — and every downstream stat — are
+    /// identical to the legacy path's; only the admission cost drops from
+    /// quadratic to O(n log n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tenant id is out of range or called after [`run`].
+    ///
+    /// [`submit_traced`]: HostFrontend::submit_traced
+    /// [`run`]: HostFrontend::run
+    pub fn submit_traced_batched(&mut self, requests: &[(f64, TracedRequest)]) {
+        assert!(self.dispatch_log.is_empty() && self.now == 0.0, "submit before run");
+        let n = self.tenants.len();
+        for &(arrival, traced) in requests {
+            let tenant = traced.tenant as usize;
+            assert!(tenant < n, "trace tenant {tenant} but frontend has {n} queues");
+            self.tenants[tenant].stream.push((arrival, traced.request));
+        }
+        for state in &mut self.tenants {
+            state.stream.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("arrival times are not NaN"));
+        }
+    }
+
     /// Replays every submitted stream to completion.
+    ///
+    /// The drain loop follows the device's configured [`EngineMode`]: the
+    /// stepper drain re-scans every tenant per dispatch (the golden
+    /// oracle), the batched drain consumes host-arrival events from a
+    /// calendar queue, keeps a packed readiness bitmask and arena-backed
+    /// queue records, and folds per-tenant latency samples at the end.
+    /// Both produce bit-identical stats (`tests/engine_identity.rs`).
     ///
     /// # Errors
     ///
@@ -122,7 +165,11 @@ impl HostFrontend {
     /// power loss). The device keeps its partial state and stats.
     pub fn run(&mut self) -> ftl::Result<()> {
         self.ssd.timed_begin();
-        let result = self.drain();
+        let result = if self.ssd.engine() == EngineMode::Batched {
+            self.drain_batched()
+        } else {
+            self.drain()
+        };
         // Fold partial clocks into the stats even on the error path.
         self.ssd.timed_end();
         result
@@ -180,6 +227,113 @@ impl HostFrontend {
         }
     }
 
+    /// Event-driven drain: instead of re-admitting every tenant and
+    /// rebuilding a `Vec<bool>` readiness mask on every dispatch, arrivals
+    /// live as events in a calendar queue, readiness is a packed bitmask
+    /// updated on queue transitions, queue records are arena-allocated,
+    /// and latency samples accumulate in per-tenant vectors folded once at
+    /// the end. Admission runs exactly when legacy admission would have
+    /// changed state — after the clock advances past an arrival, or after
+    /// a dispatch frees a slot — so dispatch order and every stat are
+    /// bit-identical to [`HostFrontend::drain`].
+    fn drain_batched(&mut self) -> ftl::Result<()> {
+        let n = self.tenants.len();
+        let mut run = BatchedRun::new(n);
+        let result = self.drain_batched_inner(&mut run);
+        // Fold the SoA sample accumulators even on the error path, exactly
+        // like the legacy drain's per-op records would have survived.
+        for (i, (w, r)) in run.write_samples.iter().zip(&run.read_samples).enumerate() {
+            self.tenants[i].stats.write_latency.extend(w);
+            self.tenants[i].stats.read_latency.extend(r);
+        }
+        result
+    }
+
+    fn drain_batched_inner(&mut self, run: &mut BatchedRun) -> ftl::Result<()> {
+        for i in 0..self.tenants.len() {
+            self.admit_one(run, i);
+        }
+        loop {
+            let Some(k) = self.arbiter.pick_mask(&run.ready) else {
+                // Every queue is empty: jump to the next arrival event, or
+                // stop once all streams are drained. (No queue ready means
+                // no tenant is depth-blocked, so every pending arrival has
+                // an event in the calendar.)
+                let Some(ev) = run.arrivals.pop_min() else {
+                    return Ok(());
+                };
+                let i = ev.payload as usize;
+                run.scheduled[i] = false;
+                self.now = self.now.max(ev.time);
+                self.admit_one(run, i);
+                self.drain_due_arrivals(run);
+                continue;
+            };
+            let state = &mut self.tenants[k];
+            let sq = &mut run.sqs[k];
+            let was_full = sq.len() >= state.spec.queue_depth;
+            let handle = sq.pop_front().expect("picked queue is ready");
+            let item = run.arena.free(handle);
+            if sq.is_empty() {
+                run.ready[k / 64] &= !(1u64 << (k % 64));
+            }
+            if was_full {
+                // The slot frees the instant the command is fetched.
+                state.freed_at = self.now;
+            }
+            let qos = state.spec.qos;
+            let out = self.ssd.timed_step(item.submit, item.req, qos)?;
+            self.now = self.now.max(out.completion_us);
+            self.dispatch_log.push(k);
+            let stats = &mut self.tenants[k].stats;
+            let wait = out.start_us - item.arrival;
+            stats.queue_wait_us += wait;
+            match item.req.op {
+                IoOp::Write => run.write_samples[k].push(wait + out.service_us),
+                IoOp::Read => {
+                    if out.service_us > 0.0 {
+                        run.read_samples[k].push(wait + out.service_us);
+                    } else {
+                        run.read_samples[k].push(wait);
+                    }
+                }
+                IoOp::Trim => {}
+            }
+            stats.completed += 1;
+            // The clock moved and a slot freed: fire due arrival events
+            // first (they may include tenant k's), then top up tenant k.
+            self.drain_due_arrivals(run);
+            self.admit_one(run, k);
+        }
+    }
+
+    /// Admits tenant `i` up to `self.now`, updates its readiness bit, and
+    /// schedules its next arrival event. A depth-blocked tenant gets no
+    /// event — only a dispatch (which calls back here) can unblock it.
+    fn admit_one(&mut self, run: &mut BatchedRun, i: usize) {
+        let state = &mut self.tenants[i];
+        state.admit_batched(self.now, &mut run.arena, &mut run.sqs[i]);
+        if !run.sqs[i].is_empty() {
+            run.ready[i / 64] |= 1u64 << (i % 64);
+        }
+        if !run.scheduled[i] && run.sqs[i].len() < state.spec.queue_depth {
+            if let Some(t) = state.next_arrival() {
+                run.arrivals.push(t, u32::try_from(i).expect("tenant count fits u32"));
+                run.scheduled[i] = true;
+            }
+        }
+    }
+
+    /// Fires every arrival event due by `self.now`, admitting its tenant.
+    fn drain_due_arrivals(&mut self, run: &mut BatchedRun) {
+        while run.arrivals.peek().is_some_and(|ev| ev.time <= self.now) {
+            let ev = run.arrivals.pop_min().expect("peeked event exists");
+            let i = ev.payload as usize;
+            run.scheduled[i] = false;
+            self.admit_one(run, i);
+        }
+    }
+
     /// Whether every submitted request has been dispatched and completed.
     #[must_use]
     pub fn drained(&self) -> bool {
@@ -219,6 +373,34 @@ impl HostFrontend {
     #[must_use]
     pub fn into_device(self) -> Ssd {
         self.ssd
+    }
+}
+
+/// Working set of one batched drain: the shared record arena, per-tenant
+/// handle queues, the host-arrival calendar, the packed readiness mask and
+/// the SoA latency accumulators.
+struct BatchedRun {
+    arena: Arena<Queued>,
+    sqs: Vec<VecDeque<u32>>,
+    arrivals: CalendarQueue,
+    /// Whether tenant `i` has an arrival event queued (at most one each).
+    scheduled: Vec<bool>,
+    ready: Vec<u64>,
+    write_samples: Vec<Vec<f64>>,
+    read_samples: Vec<Vec<f64>>,
+}
+
+impl BatchedRun {
+    fn new(tenants: usize) -> Self {
+        BatchedRun {
+            arena: Arena::with_capacity(64),
+            sqs: (0..tenants).map(|_| VecDeque::new()).collect(),
+            arrivals: CalendarQueue::new(),
+            scheduled: vec![false; tenants],
+            ready: vec![0u64; tenants.div_ceil(64)],
+            write_samples: vec![Vec::new(); tenants],
+            read_samples: vec![Vec::new(); tenants],
+        }
     }
 }
 

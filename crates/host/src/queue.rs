@@ -1,5 +1,6 @@
 //! Per-tenant submission queues and statistics.
 
+use ftl::sched::Arena;
 use ftl::{IoRequest, LatencyHistogram, QosClass};
 use std::collections::VecDeque;
 
@@ -146,6 +147,31 @@ impl TenantState {
             }
             self.sq.push_back(Queued { arrival, submit, req });
             self.stats.depth_high_water = self.stats.depth_high_water.max(self.sq.len());
+            self.next += 1;
+        }
+    }
+
+    /// Batched-engine twin of [`TenantState::admit`]: identical admission
+    /// rules, backpressure accounting and high-water tracking, but the
+    /// records live in a shared [`Arena`] and the submission queue holds
+    /// handles — one slab allocation serves every tenant, and a record is
+    /// touched exactly twice (alloc at admission, free at dispatch).
+    pub(crate) fn admit_batched(
+        &mut self,
+        now: f64,
+        arena: &mut Arena<Queued>,
+        sq: &mut VecDeque<u32>,
+    ) {
+        while let Some(&(arrival, req)) = self.stream.get(self.next) {
+            if arrival > now || sq.len() >= self.spec.queue_depth {
+                break;
+            }
+            let submit = arrival.max(self.freed_at);
+            if submit > arrival {
+                self.stats.backpressured += 1;
+            }
+            sq.push_back(arena.alloc(Queued { arrival, submit, req }));
+            self.stats.depth_high_water = self.stats.depth_high_water.max(sq.len());
             self.next += 1;
         }
     }
