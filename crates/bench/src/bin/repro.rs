@@ -13,10 +13,11 @@
 //! * `--blocks N`    blocks per pool (default 1600)
 //! * `--pe-step N`   P/E sweep step for table experiments (default 1500)
 //! * `--engine E`    replay engine for `queueing`/`tenants`: `stepper` (default) or `batched` (bit-identical rows, faster)
+//! * `--gc MODE`     `tenants` collector: `off` (default; volume below the GC watermarks) or `on` (GC-active volume + sliced preemptive collection)
 //! * `--out DIR`     output directory (default `results`)
 
 use flash_model::{CellType, Geometry};
-use ftl::EngineMode;
+use ftl::{EngineMode, GcBudget};
 use repro_bench::experiments as exp;
 use repro_bench::report::{pct, us, TextTable};
 use repro_bench::runner::ExperimentParams;
@@ -28,6 +29,7 @@ struct Cli {
     out: PathBuf,
     quick: bool,
     engine: EngineMode,
+    gc: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -38,6 +40,7 @@ fn parse_cli() -> Cli {
     let mut pe_step = 1500u32;
     let mut quick = false;
     let mut engine = EngineMode::Stepper;
+    let mut gc = false;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
@@ -49,6 +52,14 @@ fn parse_cli() -> Cli {
                     "stepper" => EngineMode::Stepper,
                     "batched" => EngineMode::Batched,
                     other => panic!("--engine takes 'stepper' or 'batched', got {other:?}"),
+                };
+            }
+            "--gc" => {
+                i += 1;
+                gc = match args[i].as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--gc takes 'on' or 'off', got {other:?}"),
                 };
             }
             "--groups" => {
@@ -112,7 +123,7 @@ fn parse_cli() -> Cli {
         ..ExperimentParams::default()
     };
     params.config.geometry = Geometry::new(4, 1, blocks, 96, 4, CellType::Tlc);
-    Cli { commands, params, out, quick, engine }
+    Cli { commands, params, out, quick, engine, gc }
 }
 
 fn comparison_table(title: &str, r: &exp::ComparisonResult, out: &Path, file: &str) {
@@ -483,16 +494,29 @@ fn main() {
         }
         if run_all || cmd == "tenants" {
             eprintln!("[{:?}] running tenants ...", t0.elapsed());
-            // Small geometry (as in the resilience sweep); the write
-            // volume stays below the GC watermarks so tail latency
-            // reflects where each tenant's programs land, not collection
-            // luck — see `tenants_experiment` for why.
+            // Small geometry (as in the resilience sweep). With --gc off
+            // the write volume stays below the GC watermarks so tail
+            // latency reflects where each tenant's programs land; with
+            // --gc on the volume exceeds the watermarks and the sliced
+            // preemptive collector keeps the LC tail monotone anyway.
             let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
-            let per_tenant = if cli.quick { 1_200 } else { 2_000 };
-            let rows = exp::tenants_experiment(&geo, per_tenant, 7, 2500.0, cli.engine);
+            let (per_tenant, budget) = if cli.gc {
+                let n = if cli.quick { 8_000 } else { 14_000 };
+                (n, GcBudget::Sliced { slice_us: 300.0 })
+            } else {
+                eprintln!(
+                    "warning: tenants --gc off (default): write volume is sized below the GC \
+                     watermarks, so collection never runs; pass --gc on for the GC-active sweep"
+                );
+                (if cli.quick { 1_200 } else { 2_000 }, GcBudget::Unbounded)
+            };
+            let (rows, gc) =
+                exp::tenants_experiment(&geo, per_tenant, 7, 2500.0, cli.engine, budget);
+            let gc_label = if cli.gc { "on" } else { "off" };
             let mut t = TextTable::new([
                 "Scheme",
                 "Arb",
+                "GC",
                 "Tenant",
                 "QoS",
                 "weight",
@@ -508,6 +532,7 @@ fn main() {
                 t.row([
                     r.scheme.clone(),
                     r.arbitration.clone(),
+                    gc_label.to_string(),
                     r.tenant.clone(),
                     r.qos.clone(),
                     r.weight.to_string(),
@@ -539,6 +564,54 @@ fn main() {
                 us(seq_gap),
                 us(qstr_gap)
             );
+            if cli.gc {
+                println!(
+                    "GC activity: {} victims collected over {} slices ({} parked mid-victim); \
+                     slice time p50 {} / p99 {} / max {}; worst per-command stall {}",
+                    gc.runs,
+                    gc.slices,
+                    gc.yields,
+                    us(gc.slice_us.quantile_us(0.5)),
+                    us(gc.slice_us.quantile_us(0.99)),
+                    us(gc.slice_us.max_us()),
+                    us(gc.max_stall_us),
+                );
+                // The tentpole's success metric: with GC active, the
+                // QSTR-MED write p99 stays monotone in QoS class for every
+                // replicate seed, not just on average.
+                let mut all_ok = true;
+                for arb in ["rr", "wrr"] {
+                    let find = |tenant: &str| {
+                        rows.iter()
+                            .find(|r| {
+                                r.scheme.starts_with("QstrMed")
+                                    && r.arbitration == arb
+                                    && r.tenant == tenant
+                            })
+                            .expect("QSTR-MED row exists for every tenant")
+                    };
+                    let (lc, std_t, bg) = (find("lc"), find("std"), find("bg"));
+                    let reps = lc.write_p99_reps_us.len();
+                    let ok = (0..reps).all(|i| {
+                        lc.write_p99_reps_us[i] <= std_t.write_p99_reps_us[i]
+                            && std_t.write_p99_reps_us[i] <= bg.write_p99_reps_us[i]
+                    });
+                    all_ok &= ok;
+                    let fmt = |r: &[f64]| {
+                        r.iter().map(|v| format!("{v:.0}")).collect::<Vec<_>>().join("/")
+                    };
+                    println!(
+                        "QSTR-MED {arb}: LC <= Std <= Bg write p99 per replicate: {} \
+                         (lc {} | std {} | bg {})",
+                        if ok { "monotone in all replicates" } else { "VIOLATED" },
+                        fmt(&lc.write_p99_reps_us),
+                        fmt(&std_t.write_p99_reps_us),
+                        fmt(&bg.write_p99_reps_us),
+                    );
+                }
+                assert!(all_ok, "GC-active QSTR-MED p99 must stay monotone in QoS class");
+                println!();
+            }
         }
         if run_all || cmd == "ssd" {
             eprintln!("[{:?}] running ssd ...", t0.elapsed());

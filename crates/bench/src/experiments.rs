@@ -7,8 +7,8 @@ use crate::runner::{
 };
 use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
 use ftl::{
-    poisson_arrivals, EngineMode, FtlConfig, IoOp, OrganizationScheme, QosClass, QueueModel, Ssd,
-    Workload,
+    poisson_arrivals, EngineMode, FtlConfig, GcBudget, IoOp, LatencyHistogram, OrganizationScheme,
+    QosClass, QueueModel, Ssd, Workload,
 };
 use host::{Arbitration, HostFrontend, TenantSpec};
 use pvcheck::assembly::Assembler;
@@ -519,6 +519,26 @@ pub struct TenantRow {
     pub depth_high_water: usize,
     /// Arrivals that found the submission queue full.
     pub backpressured: u64,
+    /// Per-replicate 99th-percentile write latencies (µs, replicate order)
+    /// behind the `write_p99_us` mean — the per-seed view the monotonicity
+    /// headline checks.
+    pub write_p99_reps_us: Vec<f64>,
+}
+
+/// Device-side GC activity accumulated over every cell and replicate of a
+/// [`tenants_experiment`] run.
+#[derive(Debug, Clone, Default)]
+pub struct GcActivity {
+    /// Collection passes completed (victims freed).
+    pub runs: u64,
+    /// GC slices executed (sliced mode only).
+    pub slices: u64,
+    /// Slices that hit their budget and parked the victim.
+    pub yields: u64,
+    /// Merged per-slice relocation-time distribution, µs.
+    pub slice_us: LatencyHistogram,
+    /// Worst single-command GC stall seen on any device, µs.
+    pub max_stall_us: f64,
 }
 
 /// Multi-tenant QoS sweep: tenant mix × arbitration × organization scheme.
@@ -533,13 +553,17 @@ pub struct TenantRow {
 /// latency-critical and background tenants compared to sequential
 /// assembly, which picks members blind to process variation.
 ///
-/// The write volume is sized to stay below the GC watermarks: foreground
-/// collection bursts cost tens of milliseconds, land on every tenant alike
-/// and would bury the pool split's microsecond-scale placement signal in
-/// collection luck. Each (scheme, arbitration) cell runs five
-/// independently seeded replicates (fresh device, fresh arrival jitter)
-/// and reports replicate-mean latencies, the same averaging the pool
-/// characterization layer uses for its figures.
+/// `gc_budget` picks the collector. Under [`GcBudget::Unbounded`] the
+/// caller should size the write volume below the GC watermarks: a
+/// run-to-completion collection burst costs tens of milliseconds, lands on
+/// every tenant alike and buries the pool split's microsecond-scale
+/// placement signal in collection luck. Under [`GcBudget::Sliced`] the
+/// volume should instead *exceed* the watermarks — that is the whole
+/// point: the preemptive collector keeps the latency-critical tail
+/// monotone even while the device collects. Each (scheme, arbitration)
+/// cell runs five independently seeded replicates (fresh device, fresh
+/// arrival jitter) and reports replicate-mean latencies plus the
+/// per-replicate p99s behind them.
 ///
 /// `writes_per_tenant` requests per tenant arrive Poisson-paced with a
 /// per-tenant mean gap of `3 * mean_gap_us` (aggregate load matches a
@@ -558,11 +582,13 @@ pub fn tenants_experiment(
     seed: u64,
     mean_gap_us: f64,
     engine: EngineMode,
-) -> Vec<TenantRow> {
+    gc_budget: GcBudget,
+) -> (Vec<TenantRow>, GcActivity) {
     const REPLICATES: u64 = 5;
     let schemes = [OrganizationScheme::Sequential, OrganizationScheme::QstrMed { candidates: 4 }];
     let arbitrations = [Arbitration::RoundRobin, Arbitration::WeightedRoundRobin];
     let mut rows = Vec::new();
+    let mut gc = GcActivity::default();
     for &scheme in &schemes {
         for &arbitration in &arbitrations {
             let mut cell: Vec<TenantRow> = Vec::new();
@@ -579,6 +605,27 @@ pub fn tenants_experiment(
                     // Collect in arrival gaps if the workload ever does
                     // outgrow the free pool.
                     idle_gc: true,
+                    gc_budget,
+                    // The sliced cell sustains writes far past device
+                    // capacity, so give the collector enough spare blocks
+                    // that the high watermark is actually reachable — at
+                    // the default 0.25 the compacted footprint plus open
+                    // slots caps free space below the watermark and the
+                    // backlog never clears — and a wide watermark band so
+                    // the budgeted ladder absorbs load bursts before free
+                    // space ever reaches the emergency floor.
+                    overprovision: match gc_budget {
+                        GcBudget::Sliced { .. } => 0.45,
+                        GcBudget::Unbounded => 0.25,
+                    },
+                    gc_low_watermark: match gc_budget {
+                        GcBudget::Sliced { .. } => 3,
+                        GcBudget::Unbounded => 2,
+                    },
+                    gc_high_watermark: match gc_budget {
+                        GcBudget::Sliced { .. } => 5,
+                        GcBudget::Unbounded => 3,
+                    },
                     ..FtlConfig::small_test()
                 };
                 let ssd = Ssd::new(config, rep_seed).expect("experiment config is valid");
@@ -611,6 +658,7 @@ pub fn tenants_experiment(
                 }
                 front.run().expect("workload fits the device");
                 for (t, &weight) in front.all_stats().iter().zip(&weights) {
+                    let p99 = t.write_latency.quantile_us(0.99);
                     cell.push(TenantRow {
                         scheme: format!("{scheme:?}"),
                         arbitration: arbitration.label().to_string(),
@@ -619,13 +667,20 @@ pub fn tenants_experiment(
                         weight,
                         completed: t.completed,
                         write_p50_us: t.write_latency.quantile_us(0.5),
-                        write_p99_us: t.write_latency.quantile_us(0.99),
+                        write_p99_us: p99,
                         read_p99_us: t.read_latency.quantile_us(0.99),
                         mean_queue_wait_us: t.mean_queue_wait_us(),
                         depth_high_water: t.depth_high_water,
                         backpressured: t.backpressured,
+                        write_p99_reps_us: vec![p99],
                     });
                 }
+                let dev_stats = front.device().stats();
+                gc.runs += dev_stats.gc_runs;
+                gc.slices += dev_stats.gc_slices;
+                gc.yields += dev_stats.gc_yield_count;
+                gc.slice_us.merge(&dev_stats.gc_slice_us);
+                gc.max_stall_us = gc.max_stall_us.max(dev_stats.gc_stall.max_us());
             }
             // Fold the replicates: latencies and waits average, queue
             // occupancy takes the worst replicate, counts accumulate.
@@ -648,11 +703,12 @@ pub fn tenants_experiment(
                     mean_queue_wait_us: mean(|r| r.mean_queue_wait_us),
                     depth_high_water: reps.iter().map(|r| r.depth_high_water).max().unwrap_or(0),
                     backpressured: reps.iter().map(|r| r.backpressured).sum(),
+                    write_p99_reps_us: reps.iter().map(|r| r.write_p99_us).collect(),
                 });
             }
         }
     }
-    rows
+    (rows, gc)
 }
 
 /// One cell of the resilience sweep: a scheme driven over faulty media.

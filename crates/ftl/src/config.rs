@@ -1,6 +1,6 @@
 //! FTL configuration.
 
-use crate::gc::GcPolicy;
+use crate::gc::{GcBudget, GcPolicy};
 use crate::recovery::SporConfig;
 use crate::timing::{EngineMode, QueueModel};
 use flash_model::{FaultConfig, FlashConfig, RetryModel};
@@ -96,6 +96,10 @@ pub struct FtlConfig {
     pub gc_high_watermark: usize,
     /// Garbage-collection victim selection policy.
     pub gc_policy: GcPolicy,
+    /// How much relocation work each foreground GC invocation may do
+    /// before yielding ([`GcBudget::Unbounded`], the default, reproduces
+    /// the legacy run-to-completion collector bit for bit).
+    pub gc_budget: GcBudget,
     /// Wear-leveling alarm threshold (max-min erase count).
     pub wear_threshold: u32,
     /// Superblock organization strategy.
@@ -156,6 +160,7 @@ impl FtlConfig {
             gc_low_watermark: 2,
             gc_high_watermark: 3,
             gc_policy: GcPolicy::Greedy,
+            gc_budget: GcBudget::Unbounded,
             wear_threshold: 32,
             scheme: OrganizationScheme::Random,
             placement: PlacementPolicy::FunctionBased,
@@ -206,10 +211,26 @@ impl FtlConfig {
         if self.spor.crash.is_some() && !self.spor.enabled {
             return Err("crash injection requires spor.enabled".to_string());
         }
-        let min_blocks = (self.gc_high_watermark + 2) as u32;
+        if let GcBudget::Sliced { slice_us } = self.gc_budget {
+            if !slice_us.is_finite() || slice_us <= 0.0 {
+                return Err(format!(
+                    "gc_budget slice_us must be finite and positive, got {slice_us}"
+                ));
+            }
+        }
+        // Every plane must hold: the high watermark of assemblable
+        // superblocks, one block per open-superblock slot (the four
+        // `Purpose` placement targets, each pinning one block per plane
+        // while open), and one for an in-flight GC victim whose blocks
+        // are not freed until its relocations flush. The old `+ 2` bound
+        // admitted configs that passed validation but OOM-looped once all
+        // slots opened mid-collection.
+        const OPEN_SLOTS: usize = 4;
+        let min_blocks = (self.gc_high_watermark + OPEN_SLOTS + 1) as u32;
         if self.flash.geometry.blocks_per_plane() < min_blocks {
             return Err(format!(
-                "need at least {min_blocks} blocks per plane for the configured watermarks"
+                "need at least {min_blocks} blocks per plane for the configured watermarks \
+                 (high watermark + {OPEN_SLOTS} open-superblock slots + 1 in-flight GC victim)"
             ));
         }
         Ok(())
@@ -224,6 +245,7 @@ impl Default for FtlConfig {
             gc_low_watermark: 4,
             gc_high_watermark: 8,
             gc_policy: GcPolicy::Greedy,
+            gc_budget: GcBudget::Unbounded,
             wear_threshold: 32,
             scheme: OrganizationScheme::Random,
             placement: PlacementPolicy::FunctionBased,
@@ -294,5 +316,36 @@ mod tests {
         let mut cfg = FtlConfig::small_test();
         cfg.flash = FlashConfig::builder().chips(2).blocks_per_plane(3).pwl_layers(4).build();
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn blocks_consumed_by_open_slots_and_gc_victim_are_reserved() {
+        // high watermark 3 + 2 = 5 blocks per plane passed the old check,
+        // but with all four Purpose slots open plus a GC victim in flight
+        // the free pool hits zero and collection OOM-loops. The tightened
+        // bound (high + 4 slots + 1 victim = 8) rejects it up front.
+        let mut cfg = FtlConfig::small_test();
+        cfg.flash =
+            FlashConfig::builder().chips(4).blocks_per_plane(7).pwl_layers(8).strings(4).build();
+        assert!(cfg.validate().is_err(), "7 < high(3) + slots(4) + victim(1)");
+        cfg.flash =
+            FlashConfig::builder().chips(4).blocks_per_plane(8).pwl_layers(8).strings(4).build();
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn sliced_budget_must_be_finite_and_positive() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let cfg = FtlConfig {
+                gc_budget: GcBudget::Sliced { slice_us: bad },
+                ..FtlConfig::small_test()
+            };
+            assert!(cfg.validate().is_err(), "slice_us={bad} must be rejected");
+        }
+        let cfg = FtlConfig {
+            gc_budget: GcBudget::Sliced { slice_us: 250.0 },
+            ..FtlConfig::small_test()
+        };
+        cfg.validate().unwrap();
     }
 }

@@ -3,7 +3,7 @@
 use crate::active::{ActiveSlots, ActiveSuperblock, FailedMember, Purpose, FILLER, PURPOSES};
 use crate::config::{FtlConfig, QosClass};
 use crate::error::FtlError;
-use crate::gc::{select_victim, SealedSuperblock};
+use crate::gc::{select_victim, GcBudget, GcJob, SealedSuperblock};
 use crate::manager::{speed_class_for, BlockManager};
 use crate::mapping::Mapping;
 use crate::recovery::{Checkpoint, JournalEntry, RecoveryReport, SporState};
@@ -86,6 +86,9 @@ pub struct Ssd {
     /// OOB read. `Some` only when `engine = Batched` and SPOR is enabled;
     /// checkpoint contents stay exactly equal to the stepper's.
     fast_ckpt: Option<Vec<u64>>,
+    /// Partially collected victim parked between GC slices
+    /// ([`GcBudget::Sliced`] only); `None` when no collection is mid-flight.
+    gc_job: Option<GcJob>,
 }
 
 /// Exact `floor(physical_pages * (1 - overprovision))` in integer
@@ -165,6 +168,7 @@ impl Ssd {
             engine: None,
             defer_hist: false,
             fast_ckpt,
+            gc_job: None,
         })
     }
 
@@ -415,17 +419,35 @@ impl Ssd {
         // Idle-time GC: use gaps before the next arrival to pre-free
         // space, shrinking foreground pauses.
         if self.config.idle_gc {
-            while *device_free_at < arrival
-                && self.manager.assemblable() < self.config.gc_high_watermark
-            {
-                match self.gc_once()? {
-                    Some(t) => {
-                        *device_free_at += t;
-                        // Background work: accounted separately so
-                        // utilization reflects foreground service only.
-                        self.stats.idle_gc_us += t;
+            match self.config.gc_budget {
+                GcBudget::Unbounded => {
+                    while *device_free_at < arrival
+                        && self.manager.assemblable() < self.config.gc_high_watermark
+                    {
+                        match self.gc_once()? {
+                            Some(t) => {
+                                *device_free_at += t;
+                                // Background work: accounted separately so
+                                // utilization reflects foreground service
+                                // only.
+                                self.stats.idle_gc_us += t;
+                            }
+                            None => break,
+                        }
                     }
-                    None => break,
+                }
+                GcBudget::Sliced { .. } => {
+                    // The whole idle gap is the budget; the slice parks the
+                    // victim when the gap runs out.
+                    if *device_free_at < arrival
+                        && self.manager.assemblable() < self.config.gc_high_watermark
+                    {
+                        let t = self.gc_slice(arrival - *device_free_at)?;
+                        if t > 0.0 {
+                            *device_free_at += t;
+                            self.stats.idle_gc_us += t;
+                        }
+                    }
                 }
             }
         }
@@ -474,25 +496,46 @@ impl Ssd {
     ) -> Result<TimedOutcome> {
         let groups = busy.len() - 1;
         if self.config.idle_gc {
-            // A gap exists when every clock runs out before the next
-            // arrival; background GC then charges only the groups it
-            // actually touches.
-            while busy.iter().fold(0.0f64, |a, &b| a.max(b)) < arrival
-                && self.manager.assemblable() < self.config.gc_high_watermark
-            {
-                match self.gc_once()? {
-                    Some(t) => {
-                        self.stats.idle_gc_us += t;
-                        self.touches.take_into(buf);
-                        Self::aggregate_touches(buf, groups, agg, touched);
-                        let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
-                        for &g in touched.iter() {
-                            busy[g] = start + agg[g];
-                            self.stats.chip_busy_us[g] += agg[g];
-                            agg[g] = 0.0;
+            match self.config.gc_budget {
+                GcBudget::Unbounded => {
+                    // A gap exists when every clock runs out before the next
+                    // arrival; background GC then charges only the groups it
+                    // actually touches.
+                    while busy.iter().fold(0.0f64, |a, &b| a.max(b)) < arrival
+                        && self.manager.assemblable() < self.config.gc_high_watermark
+                    {
+                        match self.gc_once()? {
+                            Some(t) => {
+                                self.stats.idle_gc_us += t;
+                                self.touches.take_into(buf);
+                                Self::aggregate_touches(buf, groups, agg, touched);
+                                let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                                for &g in touched.iter() {
+                                    busy[g] = start + agg[g];
+                                    self.stats.chip_busy_us[g] += agg[g];
+                                    agg[g] = 0.0;
+                                }
+                            }
+                            None => break,
                         }
                     }
-                    None => break,
+                }
+                GcBudget::Sliced { .. } => {
+                    let now = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+                    if now < arrival && self.manager.assemblable() < self.config.gc_high_watermark {
+                        let t = self.gc_slice(arrival - now)?;
+                        if t > 0.0 {
+                            self.stats.idle_gc_us += t;
+                            self.touches.take_into(buf);
+                            Self::aggregate_touches(buf, groups, agg, touched);
+                            let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                            for &g in touched.iter() {
+                                busy[g] = start + agg[g];
+                                self.stats.chip_busy_us[g] += agg[g];
+                                agg[g] = 0.0;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -564,15 +607,30 @@ impl Ssd {
         samples: &mut BatchedSamples,
     ) -> Result<TimedOutcome> {
         if self.config.idle_gc {
-            while *device_free_at < arrival
-                && self.manager.assemblable() < self.config.gc_high_watermark
-            {
-                match self.gc_once()? {
-                    Some(t) => {
-                        *device_free_at += t;
-                        self.stats.idle_gc_us += t;
+            match self.config.gc_budget {
+                GcBudget::Unbounded => {
+                    while *device_free_at < arrival
+                        && self.manager.assemblable() < self.config.gc_high_watermark
+                    {
+                        match self.gc_once()? {
+                            Some(t) => {
+                                *device_free_at += t;
+                                self.stats.idle_gc_us += t;
+                            }
+                            None => break,
+                        }
                     }
-                    None => break,
+                }
+                GcBudget::Sliced { .. } => {
+                    if *device_free_at < arrival
+                        && self.manager.assemblable() < self.config.gc_high_watermark
+                    {
+                        let t = self.gc_slice(arrival - *device_free_at)?;
+                        if t > 0.0 {
+                            *device_free_at += t;
+                            self.stats.idle_gc_us += t;
+                        }
+                    }
                 }
             }
         }
@@ -619,22 +677,43 @@ impl Ssd {
     ) -> Result<TimedOutcome> {
         let groups = busy.len() - 1;
         if self.config.idle_gc {
-            while busy.iter().fold(0.0f64, |a, &b| a.max(b)) < arrival
-                && self.manager.assemblable() < self.config.gc_high_watermark
-            {
-                match self.gc_once()? {
-                    Some(t) => {
-                        self.stats.idle_gc_us += t;
-                        self.touches.take_into(buf);
-                        Self::aggregate_touches(buf, groups, agg, touched);
-                        let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
-                        for &g in touched.iter() {
-                            busy[g] = start + agg[g];
-                            self.stats.chip_busy_us[g] += agg[g];
-                            agg[g] = 0.0;
+            match self.config.gc_budget {
+                GcBudget::Unbounded => {
+                    while busy.iter().fold(0.0f64, |a, &b| a.max(b)) < arrival
+                        && self.manager.assemblable() < self.config.gc_high_watermark
+                    {
+                        match self.gc_once()? {
+                            Some(t) => {
+                                self.stats.idle_gc_us += t;
+                                self.touches.take_into(buf);
+                                Self::aggregate_touches(buf, groups, agg, touched);
+                                let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                                for &g in touched.iter() {
+                                    busy[g] = start + agg[g];
+                                    self.stats.chip_busy_us[g] += agg[g];
+                                    agg[g] = 0.0;
+                                }
+                            }
+                            None => break,
                         }
                     }
-                    None => break,
+                }
+                GcBudget::Sliced { .. } => {
+                    let now = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+                    if now < arrival && self.manager.assemblable() < self.config.gc_high_watermark {
+                        let t = self.gc_slice(arrival - now)?;
+                        if t > 0.0 {
+                            self.stats.idle_gc_us += t;
+                            self.touches.take_into(buf);
+                            Self::aggregate_touches(buf, groups, agg, touched);
+                            let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                            for &g in touched.iter() {
+                                busy[g] = start + agg[g];
+                                self.stats.chip_busy_us[g] += agg[g];
+                                agg[g] = 0.0;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -777,7 +856,12 @@ impl Ssd {
         self.check_lpn(lpn)?;
         self.touch_controller(self.config.transfer_us);
         let mut latency = self.config.transfer_us;
-        latency += self.maybe_gc()?;
+        let stall = self.maybe_gc(class)?;
+        if stall > 0.0 {
+            self.stats.gc_stall_us += stall;
+            self.stats.gc_stall.record(stall);
+        }
+        latency += stall;
         latency += self.stage_write(lpn, Purpose::Host(class))?;
         self.stats.host_writes += 1;
         self.stats.host_writes_by_class[class.index()] += 1;
@@ -1189,21 +1273,186 @@ impl Ssd {
         }
     }
 
-    /// Runs garbage collection if free space is low; returns time spent.
-    fn maybe_gc(&mut self) -> Result<f64> {
-        if self.manager.assemblable() >= self.config.gc_low_watermark {
-            return Ok(0.0);
-        }
-        let mut time = 0.0;
-        while self.manager.assemblable() < self.config.gc_high_watermark {
-            match self.gc_once()? {
-                Some(t) => time += t,
-                None => break,
+    /// Runs garbage collection if free space is low; returns time spent,
+    /// which the caller charges to the triggering command as its GC stall.
+    fn maybe_gc(&mut self, class: QosClass) -> Result<f64> {
+        match self.config.gc_budget {
+            GcBudget::Unbounded => {
+                if self.manager.assemblable() >= self.config.gc_low_watermark {
+                    return Ok(0.0);
+                }
+                let mut time = 0.0;
+                while self.manager.assemblable() < self.config.gc_high_watermark {
+                    match self.gc_once()? {
+                        Some(t) => time += t,
+                        None => break,
+                    }
+                }
+                // The caller (the triggering write) folds this time into its
+                // own latency, which is what updates busy_us — no double
+                // counting here.
+                Ok(time)
+            }
+            GcBudget::Sliced { slice_us } => {
+                let mut time = 0.0;
+                if self.gc_backlog() {
+                    // Collection pressure maps onto the QoS ladder:
+                    // background commands pay a slice on any backlog,
+                    // standard ones only once free space dips under the low
+                    // watermark, latency-critical ones never (beyond the
+                    // emergency below).
+                    let pays = match class {
+                        QosClass::Background => true,
+                        QosClass::Standard => {
+                            self.manager.assemblable() < self.config.gc_low_watermark
+                        }
+                        QosClass::LatencyCritical => false,
+                    };
+                    if pays {
+                        time += self.gc_slice(slice_us)?;
+                    }
+                }
+                if self.manager.assemblable() <= 1 {
+                    // Pool nearly empty (GC staging itself may have taken a
+                    // superblock): every class — latency-critical included —
+                    // reclaims toward two, because relocation needs one
+                    // assemblable superblock in reserve whenever the GC slot
+                    // seals mid-victim, and the triggering write consumes
+                    // another. No further: the budgeted ladder resumes from
+                    // there instead of running a multi-victim burst to the
+                    // high watermark.
+                    time += self.gc_slice_toward(f64::INFINITY, 2)?;
+                }
+                Ok(time)
             }
         }
-        // The caller (the triggering write) folds this time into its own
-        // latency, which is what updates busy_us — no double counting here.
+    }
+
+    /// Whether sliced collection wants a slice: free space under the low
+    /// watermark, or a parked victim still short of the high one.
+    fn gc_backlog(&self) -> bool {
+        let assemblable = self.manager.assemblable();
+        assemblable < self.config.gc_low_watermark
+            || (self.gc_job.is_some() && assemblable < self.config.gc_high_watermark)
+    }
+
+    /// Whether the device will run collection work on upcoming writes
+    /// (sliced mode only — the unbounded collector never reports pending).
+    /// Frontends use this to drain latency-critical queues before granting
+    /// lower-priority commands that would carry a slice.
+    #[must_use]
+    pub fn gc_slice_pending(&self) -> bool {
+        matches!(self.config.gc_budget, GcBudget::Sliced { .. }) && self.gc_backlog()
+    }
+
+    /// Runs up to `budget_us` of relocation work toward the high watermark,
+    /// parking the in-progress victim when the budget runs out. Yields only
+    /// between word-line steps, so a slice may overrun by one program.
+    fn gc_slice(&mut self, budget_us: f64) -> Result<f64> {
+        self.gc_slice_toward(budget_us, self.config.gc_high_watermark)
+    }
+
+    /// [`Ssd::gc_slice`] with an explicit free-space target (the emergency
+    /// path reclaims toward 1, not the high watermark).
+    fn gc_slice_toward(&mut self, budget_us: f64, target: usize) -> Result<f64> {
+        let mut time = 0.0;
+        let mut yielded = false;
+        while self.manager.assemblable() < target {
+            if time >= budget_us {
+                yielded = self.gc_job.is_some();
+                break;
+            }
+            if self.gc_job.is_none() && !self.gc_start_job() {
+                break;
+            }
+            time += self.gc_job_step()?;
+        }
+        if time > 0.0 {
+            self.stats.gc_slices += 1;
+            self.stats.gc_slice_us.record(time);
+        }
+        if yielded {
+            self.stats.gc_yield_count += 1;
+        }
         Ok(time)
+    }
+
+    /// Selects a victim and parks it as the resumable job. The victim stays
+    /// in the sealed list — and therefore in every checkpoint — until the
+    /// final flush + free, so a crash mid-collection recovers it under its
+    /// old identity. Returns false when nothing is sealed.
+    fn gc_start_job(&mut self) -> bool {
+        let pages_per_sb = self.geometry_info().pages_per_superblock as usize;
+        let Some(victim_idx) = select_victim(
+            self.config.gc_policy,
+            &self.sealed,
+            &self.mapping,
+            pages_per_sb,
+            self.seal_seq,
+        ) else {
+            return false;
+        };
+        let victim = &self.sealed[victim_idx];
+        self.gc_job = Some(GcJob::new(victim.sb_id, victim.members.clone()));
+        true
+    }
+
+    /// One word-line-granularity step of the parked job: relocate the next
+    /// valid page, or — once every member has drained — flush the staged
+    /// copies and free the victim. A step never splits a program, so it is
+    /// the preemption quantum.
+    fn gc_job_step(&mut self) -> Result<f64> {
+        let mut job = self.gc_job.take().expect("caller started a job");
+        loop {
+            if let Some(&(lpn, ppa)) = job.pending.get(job.pending_cursor) {
+                job.pending_cursor += 1;
+                // The host may have overwritten or trimmed the page while
+                // the job was parked; the mapping is the ground truth.
+                if self.mapping.lookup(lpn) != Some(ppa) {
+                    continue;
+                }
+                let (tag, t_read) = self.array.read_page(ppa)?;
+                debug_assert_eq!(tag, lpn);
+                self.touch_block(ppa.wl.block, t_read);
+                let mut t = t_read;
+                t += self.stage_write(lpn, Purpose::Gc)?;
+                self.stats.gc_relocations += 1;
+                job.staged.insert(lpn);
+                self.gc_job = Some(job);
+                return Ok(t);
+            }
+            if let Some(&member) = job.members.get(job.member_cursor) {
+                job.member_cursor += 1;
+                // Staged LPNs keep mapping into the victim until their GC
+                // copy programs; filtering them out of the re-collection is
+                // what keeps resumption from relocating a page twice.
+                job.pending.clear();
+                job.pending_cursor = 0;
+                let staged = &job.staged;
+                job.pending.extend(
+                    self.mapping.valid_in_block(member).filter(|(lpn, _)| !staged.contains(lpn)),
+                );
+                continue;
+            }
+            // All members drained: make the staged copies durable, then free
+            // the victim and retire its identity. Journaled only now — had
+            // power died earlier, the victim still held its data and is
+            // still recovered under its old identity.
+            let t = self.flush_purpose(Purpose::Gc)?;
+            for &member in &job.members {
+                self.mapping.invalidate_block(member);
+                self.manager.free(member, None);
+            }
+            let idx = self
+                .sealed
+                .iter()
+                .position(|s| s.sb_id == job.sb_id)
+                .expect("victim stays sealed until freed");
+            self.sealed.swap_remove(idx);
+            self.spor.journal(JournalEntry::Freed { sb_id: job.sb_id });
+            self.stats.gc_runs += 1;
+            return Ok(t);
+        }
     }
 
     /// Collects one victim superblock; `None` when no sealed victim exists.
@@ -1338,8 +1587,11 @@ impl Ssd {
         }
         let geo = self.array.geometry().clone();
         // RAM died with the power: open superblocks, their staging buffers
-        // and gatherers are gone.
+        // and gatherers are gone. A parked GC job loses only its cursors —
+        // the victim was never freed, so it comes back sealed and
+        // re-selectable with its remaining valid pages intact.
         self.actives.clear();
+        self.gc_job = None;
         // 1. Replay the journal over the checkpoint's block sets.
         let mut retired = self.spor.checkpoint.retired.clone();
         let mut freed: HashSet<u64> = HashSet::new();

@@ -1,7 +1,9 @@
-//! Garbage-collection victim selection policies.
+//! Garbage-collection victim selection policies and the preemptible
+//! collection budget/job machinery.
 
 use crate::mapping::Mapping;
-use flash_model::BlockAddr;
+use flash_model::{BlockAddr, PageAddr};
+use std::collections::HashSet;
 
 /// How GC picks its victim superblock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -13,6 +15,73 @@ pub enum GcPolicy {
     /// preferring older superblocks whose data has had time to go cold —
     /// `(1 - u) * age / (1 + u)` with `u` the valid-page ratio.
     CostBenefit,
+}
+
+/// How much relocation work a foreground-triggered GC invocation may do
+/// before yielding back to host commands.
+///
+/// `Unbounded` is the legacy run-to-completion collector: the triggering
+/// write synchronously collects whole victims until the high watermark is
+/// restored, and the entire multi-victim time lands in that one command's
+/// latency. `Sliced` caps each invocation at `slice_us` of relocation work
+/// and parks the in-progress victim as a resumable [`GcJob`] on the device;
+/// later slices (foreground or idle-gap) continue where the last one
+/// stopped, yielding between word-line programs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GcBudget {
+    /// Run every triggered collection to completion (legacy behavior,
+    /// bit-identical to the pre-budget collector).
+    #[default]
+    Unbounded,
+    /// Preemptible collection: at most `slice_us` microseconds of
+    /// relocation per slice, at word-line granularity (a slice never
+    /// splits a program, so it may overrun by one word-line step).
+    Sliced {
+        /// Budget per slice, µs. Must be finite and positive.
+        slice_us: f64,
+    },
+}
+
+/// Resumable state of a partially collected victim superblock.
+///
+/// The victim stays in the device's sealed list — and therefore in every
+/// checkpoint — until the final flush + free, so a crash mid-collection
+/// recovers it under its old identity with its remaining valid pages
+/// intact. Cursors and the staged set live only in RAM; losing them merely
+/// costs re-scanning the victim, never data.
+#[derive(Debug)]
+pub(crate) struct GcJob {
+    /// Identity of the victim superblock (matches its `sb_id` in the
+    /// sealed list; the `Freed` journal entry is written only at the end).
+    pub sb_id: u64,
+    /// The victim's member blocks, snapshot at selection time.
+    pub members: Vec<BlockAddr>,
+    /// Member currently being drained (index into `members`).
+    pub member_cursor: usize,
+    /// Valid pages collected from the current member, relocated one per
+    /// step.
+    pub pending: Vec<(u64, PageAddr)>,
+    /// Next entry of `pending` to relocate.
+    pub pending_cursor: usize,
+    /// LPNs this job has staged into the GC slot. Invariant: an entry is
+    /// either still staged (its copy flushes before the victim is freed)
+    /// or its LPN no longer maps into the victim (programmed elsewhere, or
+    /// trimmed) — so filtering re-collection by this set never strands a
+    /// live page.
+    pub staged: HashSet<u64>,
+}
+
+impl GcJob {
+    pub(crate) fn new(sb_id: u64, members: Vec<BlockAddr>) -> Self {
+        GcJob {
+            sb_id,
+            members,
+            member_cursor: 0,
+            pending: Vec::new(),
+            pending_cursor: 0,
+            staged: HashSet::new(),
+        }
+    }
 }
 
 /// A fully written superblock awaiting garbage collection.

@@ -53,7 +53,7 @@ mod workload;
 pub use config::{FtlConfig, OrganizationScheme, PlacementPolicy, QosClass};
 pub use device::{GeometryInfo, Ssd};
 pub use error::FtlError;
-pub use gc::GcPolicy;
+pub use gc::{GcBudget, GcPolicy};
 pub use manager::BlockManager;
 pub use mapping::Mapping;
 pub use recovery::{CrashPoint, RecoveryReport, SporConfig};

@@ -165,6 +165,23 @@ pub struct SsdStats {
     pub gc_relocations: u64,
     /// Garbage-collection passes.
     pub gc_runs: u64,
+    /// Foreground GC slices executed (non-empty invocations that did
+    /// relocation work under [`crate::GcBudget::Sliced`]). Stays zero under
+    /// `Unbounded`.
+    pub gc_slices: u64,
+    /// Slices that hit their budget and parked the in-progress victim as a
+    /// resumable job instead of running it to completion.
+    pub gc_yield_count: u64,
+    /// Distribution of per-slice relocation time, µs (sliced mode only).
+    pub gc_slice_us: LatencyHistogram,
+    /// Total GC time charged to foreground commands, µs — the collection
+    /// component of write latencies. Recorded in both budget modes, so
+    /// `write_latency` minus this is pure service + transfer time.
+    pub gc_stall_us: f64,
+    /// Per-command GC stalls (only commands that actually paid one). Under
+    /// `Unbounded` each sample is a full multi-victim collection; under
+    /// `Sliced` each is capped near the configured budget.
+    pub gc_stall: LatencyHistogram,
     /// Super word-line programs issued.
     pub superwl_programs: u64,
     /// Superblock erases issued.

@@ -11,8 +11,8 @@
 //! checkpoint, and recover exactly like a stepper device.
 
 use ftl::{
-    poisson_arrivals, CrashPoint, EngineMode, FtlConfig, FtlError, IoOp, IoRequest, QueueModel,
-    Ssd, SsdStats, Workload,
+    poisson_arrivals, CrashPoint, EngineMode, FtlConfig, FtlError, GcBudget, IoOp, IoRequest,
+    QueueModel, Ssd, SsdStats, Workload,
 };
 
 /// Same mixed open-loop workload as `timed_golden.rs`: 3x-capacity writes
@@ -33,10 +33,15 @@ fn workload(dev: &Ssd) -> Vec<(f64, IoRequest)> {
 }
 
 fn run(idle_gc: bool, model: QueueModel, engine: EngineMode) -> Ssd {
+    run_with_budget(idle_gc, model, engine, GcBudget::Unbounded)
+}
+
+fn run_with_budget(idle_gc: bool, model: QueueModel, engine: EngineMode, budget: GcBudget) -> Ssd {
     let mut config = FtlConfig::small_test();
     config.idle_gc = idle_gc;
     config.queue_model = model;
     config.engine = engine;
+    config.gc_budget = budget;
     let mut dev = Ssd::new(config, 3).unwrap();
     let timed = workload(&dev);
     dev.run_timed(&timed).unwrap();
@@ -63,6 +68,11 @@ fn assert_stats_bit_identical(s: &SsdStats, b: &SsdStats, tag: &str) {
     assert_eq!(s.host_trims, b.host_trims, "{tag}: host_trims");
     assert_eq!(s.gc_relocations, b.gc_relocations, "{tag}: gc_relocations");
     assert_eq!(s.gc_runs, b.gc_runs, "{tag}: gc_runs");
+    assert_eq!(s.gc_slices, b.gc_slices, "{tag}: gc_slices");
+    assert_eq!(s.gc_yield_count, b.gc_yield_count, "{tag}: gc_yield_count");
+    assert_bits(s.gc_stall_us, b.gc_stall_us, "gc_stall_us", tag);
+    assert_samples(s.gc_slice_us.samples_us(), b.gc_slice_us.samples_us(), "gc_slice", tag);
+    assert_samples(s.gc_stall.samples_us(), b.gc_stall.samples_us(), "gc_stall", tag);
     assert_eq!(s.superwl_programs, b.superwl_programs, "{tag}: superwl_programs");
     assert_eq!(s.superblock_erases, b.superblock_erases, "{tag}: superblock_erases");
     assert_eq!(s.superblocks_assembled, b.superblocks_assembled, "{tag}: superblocks_assembled");
@@ -110,6 +120,30 @@ fn batched_engine_matches_stepper_oracle_bit_for_bit() {
             assert_stats_bit_identical(stepper.stats(), batched.stats(), &tag);
             let lpns = stepper.geometry_info().logical_pages;
             for lpn in 0..lpns {
+                assert_eq!(
+                    stepper.mapping().lookup(lpn),
+                    batched.mapping().lookup(lpn),
+                    "{tag}: mapping diverged at lpn {lpn}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_engine_matches_stepper_with_sliced_gc() {
+    // The sliced collector adds state the engines must keep in lockstep: a
+    // parked GcJob, slice/yield counters, the stall histogram, and the
+    // idle-gap slice arms of all four replay loops.
+    let budget = GcBudget::Sliced { slice_us: 300.0 };
+    for model in [QueueModel::Single, QueueModel::PerChip] {
+        for idle_gc in [false, true] {
+            let tag = format!("sliced {model:?} idle_gc={idle_gc}");
+            let stepper = run_with_budget(idle_gc, model, EngineMode::Stepper, budget);
+            let batched = run_with_budget(idle_gc, model, EngineMode::Batched, budget);
+            assert!(stepper.stats().gc_slices > 0, "{tag}: workload must exercise slices");
+            assert_stats_bit_identical(stepper.stats(), batched.stats(), &tag);
+            for lpn in 0..stepper.geometry_info().logical_pages {
                 assert_eq!(
                     stepper.mapping().lookup(lpn),
                     batched.mapping().lookup(lpn),

@@ -4,7 +4,7 @@ use crate::arbiter::{Arbiter, Arbitration};
 use crate::queue::{Queued, TenantSpec, TenantState, TenantStats};
 use ftl::sched::{Arena, CalendarQueue};
 use ftl::trace::TracedRequest;
-use ftl::{EngineMode, IoOp, IoRequest, Ssd};
+use ftl::{EngineMode, IoOp, IoRequest, QosClass, Ssd};
 use std::collections::VecDeque;
 
 /// A multi-queue host frontend: one submission queue per tenant, feeding
@@ -181,7 +181,23 @@ impl HostFrontend {
             for tenant in &mut self.tenants {
                 tenant.admit(now);
             }
-            let ready: Vec<bool> = self.tenants.iter().map(|t| !t.sq.is_empty()).collect();
+            let mut ready: Vec<bool> = self.tenants.iter().map(|t| !t.sq.is_empty()).collect();
+            // When the device wants a GC slice, drain latency-critical
+            // queues first: their commands skip the slice device-side, and
+            // granting a lower class first would sandwich the waiting LC
+            // command behind that command's slice. Work-conserving — the
+            // mask only applies while a latency-critical queue is ready.
+            if self.ssd.gc_slice_pending()
+                && self
+                    .tenants
+                    .iter()
+                    .zip(&ready)
+                    .any(|(t, &r)| r && t.spec.qos == QosClass::LatencyCritical)
+            {
+                for (t, r) in self.tenants.iter().zip(ready.iter_mut()) {
+                    *r = *r && t.spec.qos == QosClass::LatencyCritical;
+                }
+            }
             let Some(k) = self.arbiter.pick(&ready) else {
                 // Every queue is empty: jump to the next arrival, or stop
                 // once all streams are drained.
@@ -239,6 +255,11 @@ impl HostFrontend {
     fn drain_batched(&mut self) -> ftl::Result<()> {
         let n = self.tenants.len();
         let mut run = BatchedRun::new(n);
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.spec.qos == QosClass::LatencyCritical {
+                run.lc_mask[i / 64] |= 1u64 << (i % 64);
+            }
+        }
         let result = self.drain_batched_inner(&mut run);
         // Fold the SoA sample accumulators even on the error path, exactly
         // like the legacy drain's per-op records would have survived.
@@ -254,7 +275,20 @@ impl HostFrontend {
             self.admit_one(run, i);
         }
         loop {
-            let Some(k) = self.arbiter.pick_mask(&run.ready) else {
+            // Same LC-drain masking as the legacy drain (readiness and
+            // device state agree step for step, so both drains mask at the
+            // same dispatch points and stay bit-identical).
+            let pick = if self.ssd.gc_slice_pending()
+                && run.ready.iter().zip(&run.lc_mask).any(|(&r, &m)| r & m != 0)
+            {
+                for (m, (&r, &l)) in run.masked.iter_mut().zip(run.ready.iter().zip(&run.lc_mask)) {
+                    *m = r & l;
+                }
+                self.arbiter.pick_mask(&run.masked)
+            } else {
+                self.arbiter.pick_mask(&run.ready)
+            };
+            let Some(k) = pick else {
                 // Every queue is empty: jump to the next arrival event, or
                 // stop once all streams are drained. (No queue ready means
                 // no tenant is depth-blocked, so every pending arrival has
@@ -386,6 +420,11 @@ struct BatchedRun {
     /// Whether tenant `i` has an arrival event queued (at most one each).
     scheduled: Vec<bool>,
     ready: Vec<u64>,
+    /// Which tenants are latency-critical (fixed over the run); `ready &
+    /// lc_mask` is the LC-first readiness used while a GC slice is pending.
+    lc_mask: Vec<u64>,
+    /// Scratch for the masked readiness, kept allocated across dispatches.
+    masked: Vec<u64>,
     write_samples: Vec<Vec<f64>>,
     read_samples: Vec<Vec<f64>>,
 }
@@ -398,6 +437,8 @@ impl BatchedRun {
             arrivals: CalendarQueue::new(),
             scheduled: vec![false; tenants],
             ready: vec![0u64; tenants.div_ceil(64)],
+            lc_mask: vec![0u64; tenants.div_ceil(64)],
+            masked: vec![0u64; tenants.div_ceil(64)],
             write_samples: vec![Vec::new(); tenants],
             read_samples: vec![Vec::new(); tenants],
         }

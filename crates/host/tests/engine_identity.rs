@@ -7,7 +7,8 @@
 //! identical to the legacy quadratic `submit_traced`.
 
 use ftl::{
-    poisson_arrivals, EngineMode, FtlConfig, IoOp, IoRequest, QosClass, QueueModel, Ssd, Workload,
+    poisson_arrivals, EngineMode, FtlConfig, GcBudget, IoOp, IoRequest, QosClass, QueueModel, Ssd,
+    Workload,
 };
 use host::{Arbitration, HostFrontend, TenantSpec};
 
@@ -118,6 +119,56 @@ fn batched_drain_matches_stepper_drain_bit_for_bit() {
             assert_samples(s.write_latency.samples_us(), b.write_latency.samples_us(), "w", &tag);
             assert_samples(s.read_latency.samples_us(), b.read_latency.samples_us(), "r", &tag);
         }
+    }
+}
+
+#[test]
+fn batched_drain_matches_stepper_drain_with_sliced_gc() {
+    // With a sliced budget the drains consult `gc_slice_pending()` and mask
+    // readiness to latency-critical queues — the masking decision points
+    // must line up dispatch for dispatch across engines.
+    let run = |engine: EngineMode| {
+        let mut config = FtlConfig::small_test();
+        config.queue_model = QueueModel::PerChip;
+        config.engine = engine;
+        config.idle_gc = true;
+        config.gc_budget = GcBudget::Sliced { slice_us: 300.0 };
+        let dev = Ssd::new(config, 3).unwrap();
+        let info = dev.geometry_info();
+        let mut streams = Vec::new();
+        for (tenant, mean_us) in [(0u64, 120.0), (1, 300.0), (2, 40.0)] {
+            // Writes-per-tenant beyond capacity so collection stays busy.
+            let n = info.logical_pages as usize;
+            let reqs = Workload::random_write(0.4).generate(&info, n, tenant);
+            streams.push(poisson_arrivals(&reqs, mean_us, tenant + 7));
+        }
+        let mut front = HostFrontend::new(dev, specs(), Arbitration::WeightedRoundRobin);
+        for (tenant, stream) in streams.iter().enumerate() {
+            front.submit(tenant, stream);
+        }
+        front.run().unwrap();
+        assert!(front.drained());
+        front
+    };
+    let stepper = run(EngineMode::Stepper);
+    let batched = run(EngineMode::Batched);
+    let (s, b) = (stepper.device().stats(), batched.device().stats());
+    assert!(s.gc_slices > 0, "workload must exercise slices");
+    assert_eq!(stepper.dispatch_log(), batched.dispatch_log(), "sliced: dispatch order diverged");
+    assert_eq!(s.gc_slices, b.gc_slices, "sliced: gc_slices");
+    assert_eq!(s.gc_yield_count, b.gc_yield_count, "sliced: gc_yield_count");
+    assert_eq!(s.gc_runs, b.gc_runs, "sliced: gc_runs");
+    assert_eq!(s.gc_relocations, b.gc_relocations, "sliced: gc_relocations");
+    assert_eq!(s.gc_stall_us.to_bits(), b.gc_stall_us.to_bits(), "sliced: gc_stall_us");
+    assert_eq!(s.busy_us.to_bits(), b.busy_us.to_bits(), "sliced: busy_us");
+    assert_samples(s.gc_slice_us.samples_us(), b.gc_slice_us.samples_us(), "gc_slice", "sliced");
+    assert_samples(s.gc_stall.samples_us(), b.gc_stall.samples_us(), "gc_stall", "sliced");
+    assert_samples(s.write_latency.samples_us(), b.write_latency.samples_us(), "w", "sliced");
+    for tenant in 0..stepper.tenants() {
+        let (ts, tb) = (stepper.tenant_stats(tenant), batched.tenant_stats(tenant));
+        let tag = format!("sliced tenant {}", ts.name);
+        assert_eq!(ts.completed, tb.completed, "{tag}: completed");
+        assert_samples(ts.write_latency.samples_us(), tb.write_latency.samples_us(), "w", &tag);
     }
 }
 
