@@ -90,12 +90,13 @@ fn parse_cli() -> Cli {
     if commands.is_empty() {
         commands.push("all".to_string());
     }
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 20] = [
         "all",
         "resilience",
         "recovery",
         "queueing",
         "tenants",
+        "fleet",
         "table1",
         "table2",
         "table5",
@@ -612,6 +613,101 @@ fn main() {
                 assert!(all_ok, "GC-active QSTR-MED p99 must stay monotone in QoS class");
                 println!();
             }
+        }
+        if run_all || cmd == "fleet" {
+            eprintln!("[{:?}] running fleet ...", t0.elapsed());
+            // Fleet-scale sweep: one sharded multi-user workload replayed
+            // over N GC-active devices per (scheme, arbitration) cell. The
+            // full run shards a million users; --quick keeps the same
+            // GC-active regime (each shard overwrites its logical space
+            // several times) on a two-device fleet.
+            let (users, devices, mean_ops) =
+                if cli.quick { (10_000, 4, 8.0) } else { (1_000_000, 8, 4.0) };
+            let rows = exp::fleet_experiment(users, devices, mean_ops, 11, 0);
+            let mut t = TextTable::new([
+                "Scheme",
+                "Arb",
+                "devices",
+                "users",
+                "commands",
+                "fleet p99",
+                "fleet p999",
+                "fleet p9999",
+                "max",
+                "max dev p99",
+                "med dev p99",
+                "skew",
+                "backpressured",
+                "GC slices",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.scheme.clone(),
+                    r.arbitration.clone(),
+                    r.devices.to_string(),
+                    r.users.to_string(),
+                    r.commands.to_string(),
+                    us(r.fleet_p99_us),
+                    us(r.fleet_p999_us),
+                    us(r.fleet_p9999_us),
+                    us(r.max_us),
+                    us(r.max_device_p99_us),
+                    us(r.median_device_p99_us),
+                    format!("{:.2}", r.device_skew),
+                    r.backpressured.to_string(),
+                    r.gc_slices.to_string(),
+                ]);
+            }
+            println!(
+                "== Fleet: scheme x arbitration over a sharded user population ==\n{}",
+                t.render()
+            );
+            t.write_csv(cli.out.join("fleet.csv")).expect("write csv");
+            // Headline: at fleet scale, PV-aware placement must move the
+            // tail of tails — the p999 over every command on every device.
+            let p999 = |scheme: &str| -> f64 {
+                rows.iter()
+                    .filter(|r| r.scheme.starts_with(scheme))
+                    .map(|r| r.fleet_p999_us)
+                    .sum::<f64>()
+                    / 2.0
+            };
+            let (seq, qstr) = (p999("Sequential"), p999("QstrMed"));
+            let verdict = if qstr <= seq {
+                "lower with PV-aware placement"
+            } else if cli.quick {
+                "higher — quick sizing leaves only dozens of samples past p999; \
+                 run without --quick for the powered comparison"
+            } else {
+                "HIGHER — regression"
+            };
+            println!(
+                "fleet p999 (mean over arbitrations): sequential {} vs QSTR-MED {} ({} {})",
+                us(seq),
+                us(qstr),
+                pct(100.0 * (seq - qstr) / seq),
+                verdict,
+            );
+            // Placement quality shows up hardest in the unluckiest shard:
+            // PV-blind assembly leaves some device with a slow-pool-heavy
+            // mix, QSTR-MED evens the fleet out.
+            let skew = |scheme: &str| -> f64 {
+                rows.iter()
+                    .filter(|r| r.scheme.starts_with(scheme))
+                    .map(|r| r.device_skew)
+                    .sum::<f64>()
+                    / 2.0
+            };
+            println!(
+                "device skew, max/median shard p99 (mean over arbitrations): sequential {:.2} vs \
+                 QSTR-MED {:.2}\n",
+                skew("Sequential"),
+                skew("QstrMed"),
+            );
+            assert!(
+                (seq - qstr).abs() > f64::EPSILON,
+                "placement scheme must move the fleet p999 (both cells read {seq})"
+            );
         }
         if run_all || cmd == "ssd" {
             eprintln!("[{:?}] running ssd ...", t0.elapsed());

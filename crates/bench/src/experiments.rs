@@ -1095,6 +1095,141 @@ pub fn string_speed_split(seed: u64) -> (f64, f64) {
     (fast / f64::from(nfast), slow / f64::from(nslow))
 }
 
+/// One cell of the fleet sweep: an organization scheme × arbitration
+/// policy replayed over every device of a sharded fleet.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Organization scheme name.
+    pub scheme: String,
+    /// Arbitration mechanism (`rr` or `wrr`).
+    pub arbitration: String,
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Logical users sharded across the fleet.
+    pub users: u64,
+    /// Commands completed across the fleet.
+    pub commands: u64,
+    /// Fleet-wide p99 over all sampled command latencies, µs.
+    pub fleet_p99_us: f64,
+    /// Fleet-wide p999, µs — the tail the scheme comparison headlines.
+    pub fleet_p999_us: f64,
+    /// Fleet-wide p9999, µs (nearest-rank; see `LatencyHistogram::fold`).
+    pub fleet_p9999_us: f64,
+    /// Worst command latency anywhere in the fleet, µs.
+    pub max_us: f64,
+    /// The unluckiest device's p99, µs.
+    pub max_device_p99_us: f64,
+    /// The median device's p99, µs.
+    pub median_device_p99_us: f64,
+    /// Device skew: max device p99 over median device p99.
+    pub device_skew: f64,
+    /// Arrivals that found a submission queue full, fleet-wide.
+    pub backpressured: u64,
+    /// Foreground GC slices executed, fleet-wide.
+    pub gc_slices: u64,
+}
+
+/// The fleet device configuration: the GC-active sliced-collection shape
+/// of [`tenants_experiment`] on the batched engine, with the organization
+/// scheme as the swept axis.
+fn fleet_device_config(scheme: OrganizationScheme) -> FtlConfig {
+    FtlConfig {
+        scheme,
+        queue_model: QueueModel::PerChip,
+        engine: EngineMode::Batched,
+        idle_gc: true,
+        gc_budget: GcBudget::Sliced { slice_us: 300.0 },
+        // Same rationale as the sliced tenants cell: the sharded streams
+        // overwrite each device's logical space several times, so the
+        // collector needs reachable watermarks and a wide band.
+        overprovision: 0.45,
+        gc_low_watermark: 3,
+        gc_high_watermark: 5,
+        ..FtlConfig::small_test()
+    }
+}
+
+/// Aggregate mean interarrival gap per device, µs: each shard sees one
+/// op roughly every `DEVICE_GAP_US` µs regardless of how many users the
+/// sweep shards onto it ([`fleet_experiment`] scales the per-user gap by
+/// the user count). Sized for a long steady state where every host write
+/// also carries its share of GC relocation: burst trains roughly halve
+/// the realized gap, and the effective per-op service cost with the
+/// collector in equilibrium is a few hundred µs — 900 keeps utilization
+/// high enough that queueing amplifies placement quality without tipping
+/// into backlog meltdown, where the tail measures makespan instead.
+const DEVICE_GAP_US: f64 = 900.0;
+
+/// Fleet-scale sweep: organization scheme × arbitration over a sharded
+/// multi-user workload (PR 8's tentpole experiment).
+///
+/// `users` logical users — Zipfian footprints, heavy-tailed op counts,
+/// burst trains, diurnal arrival swing — are hashed across `devices`
+/// identical GC-active devices ([`fleet_device_config`]). Each cell
+/// replays the *same* sharded workload (the stream is a pure function of
+/// the fleet seed, never of the scheme or arbitration), so the
+/// QSTR-MED-vs-sequential delta isolates placement quality at fleet
+/// scale: the fleet p999/p9999 and the per-device skew are the headline
+/// columns. `workers` sizes the replay pool (`0` = one per core) and
+/// never affects the rows — the reduction is canonical-order.
+///
+/// # Panics
+///
+/// Panics if the simulated devices reject the workload (an internal bug).
+#[must_use]
+pub fn fleet_experiment(
+    users: u64,
+    devices: usize,
+    mean_ops_per_user: f64,
+    seed: u64,
+    workers: usize,
+) -> Vec<FleetRow> {
+    let schemes = [OrganizationScheme::Sequential, OrganizationScheme::QstrMed { candidates: 4 }];
+    let arbitrations = [Arbitration::RoundRobin, Arbitration::WeightedRoundRobin];
+    let mut workload = fleet::FleetWorkload::new(users, devices);
+    workload.mean_ops_per_user = mean_ops_per_user;
+    // Per-user pacing is derived from a per-*device* aggregate gap so the
+    // offered load per shard is invariant to fleet sizing: busy enough
+    // that queueing amplifies placement quality, but below saturation —
+    // an overloaded queue's tail measures backlog, not placement.
+    let users_per_device = (users as f64 / devices as f64).max(1.0);
+    workload.mean_gap_us = DEVICE_GAP_US * users_per_device;
+    // Stationary arrivals: spread user starts over one stream length so
+    // the first ops don't pile into a t = 0 stampede (at a million users
+    // that opening burst alone would saturate every shard for minutes).
+    workload.start_spread_us = workload.mean_gap_us * workload.mean_ops_per_user.max(1.0);
+    let mut rows = Vec::new();
+    for &scheme in &schemes {
+        for &arbitration in &arbitrations {
+            let config = fleet::FleetConfig {
+                device_config: fleet_device_config(scheme),
+                workload: workload.clone(),
+                fleet_seed: seed,
+                arbitration,
+                workers,
+            };
+            let report = fleet::run_fleet(&config).expect("fleet workload fits the devices");
+            rows.push(FleetRow {
+                scheme: format!("{scheme:?}"),
+                arbitration: arbitration.label().to_string(),
+                devices,
+                users,
+                commands: report.total_commands,
+                fleet_p99_us: report.p99_us,
+                fleet_p999_us: report.p999_us,
+                fleet_p9999_us: report.p9999_us,
+                max_us: report.max_us,
+                max_device_p99_us: report.max_device_p99_us,
+                median_device_p99_us: report.median_device_p99_us,
+                device_skew: report.device_skew(),
+                backpressured: report.devices.iter().map(|d| d.backpressured).sum(),
+                gc_slices: report.devices.iter().map(|d| d.gc_slices).sum(),
+            });
+        }
+    }
+    rows
+}
+
 /// The quick pool used by doc examples and smoke tests.
 #[must_use]
 pub fn quick_pool(params: &ExperimentParams) -> pvcheck::BlockPool {

@@ -89,6 +89,14 @@ pub struct Ssd {
     /// Partially collected victim parked between GC slices
     /// ([`GcBudget::Sliced`] only); `None` when no collection is mid-flight.
     gc_job: Option<GcJob>,
+    /// Per-command cap on budgeted collection work, µs
+    /// ([`Ssd::set_gc_allowance`]). Defaults to `INFINITY` (no cap), which
+    /// leaves every code path bit-identical to a device without the field.
+    /// Frontends with per-tenant SLO budgets set this before each command
+    /// to the tenant's remaining debt for the current window; `0` skips the
+    /// ladder slice entirely. The emergency floor ignores it — running out
+    /// of assemblable superblocks trumps any SLO.
+    gc_allowance_us: f64,
 }
 
 /// Exact `floor(physical_pages * (1 - overprovision))` in integer
@@ -169,6 +177,7 @@ impl Ssd {
             defer_hist: false,
             fast_ckpt,
             gc_job: None,
+            gc_allowance_us: f64::INFINITY,
         })
     }
 
@@ -1308,8 +1317,13 @@ impl Ssd {
                         }
                         QosClass::LatencyCritical => false,
                     };
-                    if pays {
-                        time += self.gc_slice(slice_us)?;
+                    // A per-tenant SLO allowance caps the budgeted slice:
+                    // an exhausted window (`allowance == 0`) skips ladder
+                    // payment entirely, a partial one shortens the slice.
+                    // The default `INFINITY` allowance reduces both
+                    // expressions to the plain ladder, bit for bit.
+                    if pays && self.gc_allowance_us > 0.0 {
+                        time += self.gc_slice(slice_us.min(self.gc_allowance_us))?;
                     }
                 }
                 if self.manager.assemblable() <= 1 {
@@ -1343,6 +1357,19 @@ impl Ssd {
     #[must_use]
     pub fn gc_slice_pending(&self) -> bool {
         matches!(self.config.gc_budget, GcBudget::Sliced { .. }) && self.gc_backlog()
+    }
+
+    /// Caps the budgeted collection work the *next* commands may be charged
+    /// ([`GcBudget::Sliced`] only): each ladder slice runs for at most
+    /// `min(slice_us, allowance)` µs, and an allowance of `0` skips ladder
+    /// payment outright. Frontends enforcing per-tenant GC SLOs call this
+    /// before each dispatch with the tenant's remaining debt budget for the
+    /// current window. Negative and NaN values clamp to `0` (no slice);
+    /// the default is `INFINITY` (uncapped — identical to pre-SLO
+    /// behavior). The emergency floor (pool nearly empty) is exempt: media
+    /// safety outranks an SLO.
+    pub fn set_gc_allowance(&mut self, allowance_us: f64) {
+        self.gc_allowance_us = if allowance_us.is_nan() { 0.0 } else { allowance_us.max(0.0) };
     }
 
     /// Runs up to `budget_us` of relocation work toward the high watermark,

@@ -71,6 +71,91 @@ impl LatencyHistogram {
         self.extend(&other.samples_us);
     }
 
+    /// Builds one histogram from many parts in a single pass — the
+    /// cross-device reduction primitive. Samples are concatenated in part
+    /// order (so the sample vector is bit-identical to chaining
+    /// [`LatencyHistogram::merge`] over the same parts), and the sorted
+    /// order is produced up front by a k-way merge of each part's own
+    /// sorted cache instead of re-sorting the concatenation: `O(n log k)`
+    /// for `n` total samples over `k` parts, versus `O(n log n)` for the
+    /// lazy full sort a `merge` chain would pay at its first quantile
+    /// query. Parts whose caches are cold are sorted here once (the
+    /// per-part sorts a fleet reduction already paid stay paid).
+    ///
+    /// Ties across parts break toward the earlier part, matching the
+    /// stable sort of the concatenation, so every quantile answer is
+    /// bit-identical to the `merge` path on NaN-free samples.
+    ///
+    /// Nearest-rank quantiles keep their semantics after a fold — which
+    /// matters at the deep tail: `quantile_us(0.9999)` reads the sample at
+    /// index `round((n - 1) * 0.9999)`, so with fewer than ~5 000 merged
+    /// samples p9999 pins to the single maximum sample, and only around
+    /// n ≥ 20 001 does it move off the top two. Fleet-level p9999 is
+    /// therefore only meaningful on the *merged* population, never on a
+    /// per-device histogram of a few thousand commands.
+    #[must_use]
+    pub fn fold<'a, I>(parts: I) -> LatencyHistogram
+    where
+        I: IntoIterator<Item = &'a LatencyHistogram>,
+    {
+        struct Head<'p> {
+            value: f64,
+            part: usize,
+            rest: &'p [f64],
+        }
+        impl PartialEq for Head<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == std::cmp::Ordering::Equal
+            }
+        }
+        impl Eq for Head<'_> {}
+        impl PartialOrd for Head<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Head<'_> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // BinaryHeap is a max-heap; reverse so `pop` yields the
+                // smallest value, breaking ties toward the earlier part
+                // (stable with respect to part order, like the one-shot
+                // stable sort of the concatenation).
+                self.value.total_cmp(&other.value).then(self.part.cmp(&other.part)).reverse()
+            }
+        }
+
+        let parts: Vec<&LatencyHistogram> = parts.into_iter().collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut samples_us = Vec::with_capacity(total);
+        let mut heap = std::collections::BinaryHeap::with_capacity(parts.len());
+        for (idx, part) in parts.iter().enumerate() {
+            samples_us.extend_from_slice(&part.samples_us);
+            let sorted = part.sorted_samples();
+            if let Some((&value, rest)) = sorted.split_first() {
+                heap.push(Head { value, part: idx, rest });
+            }
+        }
+        let mut merged = Vec::with_capacity(total);
+        while let Some(Head { value, part, rest }) = heap.pop() {
+            merged.push(value);
+            if let Some((&value, rest)) = rest.split_first() {
+                heap.push(Head { value, part, rest });
+            }
+        }
+        let sorted = OnceLock::new();
+        sorted.set(merged).expect("fresh OnceLock accepts one set");
+        LatencyHistogram { samples_us, sorted }
+    }
+
+    /// The samples in ascending order, sorting (and caching) on first use.
+    fn sorted_samples(&self) -> &[f64] {
+        self.sorted.get_or_init(|| {
+            let mut s = self.samples_us.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            s
+        })
+    }
+
     /// The recorded samples in insertion order.
     #[must_use]
     pub fn samples_us(&self) -> &[f64] {
@@ -128,11 +213,7 @@ impl LatencyHistogram {
         if self.samples_us.is_empty() {
             return 0.0;
         }
-        let sorted = self.sorted.get_or_init(|| {
-            let mut s = self.samples_us.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            s
-        });
+        let sorted = self.sorted_samples();
         // NaN must not reach the index arithmetic: `NaN as usize` happens
         // to saturate to 0, but that is an accident, not a contract.
         let q = if q.is_nan() { 0.0 } else { q };
@@ -437,6 +518,74 @@ mod tests {
         for q in [0.0, 0.5, 1.0, f64::NAN, -3.0, 7.0] {
             assert_eq!(single.quantile_us(q), 42.0);
         }
+    }
+
+    #[test]
+    fn fold_matches_a_merge_chain_bit_for_bit() {
+        // Three "devices" with overlapping values, duplicates across parts,
+        // and one cold cache — fold must agree with sequential merges on
+        // samples, every quantile, mean, and max, bit for bit.
+        let mut a = LatencyHistogram::new();
+        a.extend(&[120.0, 85.0, 310.0, 85.0]);
+        let mut b = LatencyHistogram::new();
+        b.extend(&[85.0, 40.0, 310.0]);
+        let _ = b.quantile_us(0.5); // warm one part's cache
+        let c = LatencyHistogram::new(); // empty part
+        let mut d = LatencyHistogram::new();
+        d.extend(&[1e-300, 7.5e9, 95.0]);
+
+        let folded = LatencyHistogram::fold([&a, &b, &c, &d]);
+        let mut chained = LatencyHistogram::new();
+        for part in [&a, &b, &c, &d] {
+            chained.merge(part);
+        }
+        assert_eq!(folded.samples_us(), chained.samples_us());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999, 1.0] {
+            assert_eq!(folded.quantile_us(q).to_bits(), chained.quantile_us(q).to_bits(), "q={q}");
+        }
+        assert_eq!(folded.mean_us().to_bits(), chained.mean_us().to_bits());
+        assert_eq!(folded.max_us().to_bits(), chained.max_us().to_bits());
+        assert_eq!(folded.len(), 10);
+    }
+
+    #[test]
+    fn fold_of_no_parts_or_empty_parts_is_empty() {
+        let folded = LatencyHistogram::fold(std::iter::empty());
+        assert!(folded.is_empty());
+        assert_eq!(folded.quantile_us(0.5), 0.0);
+        let empties = [LatencyHistogram::new(), LatencyHistogram::new()];
+        let folded = LatencyHistogram::fold(empties.iter());
+        assert!(folded.is_empty());
+    }
+
+    #[test]
+    fn fold_presorts_and_stays_mutable_afterwards() {
+        // The pre-seeded cache must serve correct order immediately, and a
+        // later record must invalidate it like any other histogram.
+        let mut a = LatencyHistogram::new();
+        a.extend(&[9.0, 5.0]);
+        let mut b = LatencyHistogram::new();
+        b.extend(&[7.0, 1.0]);
+        let mut folded = LatencyHistogram::fold([&a, &b]);
+        assert_eq!(folded.quantile_us(0.0), 1.0);
+        assert_eq!(folded.quantile_us(1.0), 9.0);
+        folded.record(0.5);
+        assert_eq!(folded.quantile_us(0.0), 0.5, "post-fold record must invalidate the cache");
+    }
+
+    #[test]
+    fn p9999_pins_to_max_on_small_populations() {
+        // Documented nearest-rank semantics at the deep tail: below ~5 000
+        // samples round((n-1) * 0.9999) is the last index, so p9999 == max.
+        let mut small = LatencyHistogram::new();
+        small.extend(&(0..4_999).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(small.quantile_us(0.9999), small.max_us());
+        // At n = 20_001 the rank moves off the maximum: round(20000 * .9999)
+        // = 19998, two below the top.
+        let mut big = LatencyHistogram::new();
+        big.extend(&(0..20_001).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(big.quantile_us(0.9999), 19_998.0);
+        assert!(big.quantile_us(0.9999) < big.max_us());
     }
 
     #[test]

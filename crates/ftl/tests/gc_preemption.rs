@@ -85,6 +85,65 @@ fn unbounded_default_keeps_slice_stats_at_zero() {
 }
 
 #[test]
+fn gc_allowance_gates_ladder_slices_but_not_the_emergency_floor() {
+    const SLICE_US: f64 = 300.0;
+    let drive_with_allowance = |allowance: Option<f64>| {
+        let mut config = FtlConfig::small_test();
+        config.gc_budget = GcBudget::Sliced { slice_us: SLICE_US };
+        let mut dev = Ssd::new(config, 3).unwrap();
+        if let Some(a) = allowance {
+            dev.set_gc_allowance(a);
+        }
+        let info = dev.geometry_info();
+        let reqs =
+            Workload::random_write(0.6).generate(&info, (info.logical_pages * 3) as usize, 7);
+        for req in &reqs {
+            match req.op {
+                IoOp::Write => drop(dev.write(req.lpn).unwrap()),
+                IoOp::Read => drop(dev.read(req.lpn).unwrap()),
+                IoOp::Trim => dev.trim(req.lpn).unwrap(),
+            }
+        }
+        dev
+    };
+
+    // The default (no allowance set) and an explicit INFINITY allowance are
+    // the same device, bit for bit — the cap only exists once finite.
+    let plain = drive_with_allowance(None);
+    let uncapped = drive_with_allowance(Some(f64::INFINITY));
+    let (p, u) = (plain.stats(), uncapped.stats());
+    assert!(p.gc_yield_count > 0, "workload must park ladder slices");
+    assert_eq!(p.gc_slices, u.gc_slices);
+    assert_eq!(p.gc_yield_count, u.gc_yield_count);
+    assert_eq!(p.gc_stall_us.to_bits(), u.gc_stall_us.to_bits());
+    assert_eq!(p.gc_relocations, u.gc_relocations);
+
+    // A zero allowance suppresses every ladder slice: collection then runs
+    // only through the emergency floor, whose unbudgeted reclaim never
+    // yields. Data integrity must survive the starved collector.
+    let starved = drive_with_allowance(Some(0.0));
+    let s = starved.stats();
+    assert_eq!(s.gc_yield_count, 0, "no ladder slices means nothing ever parks");
+    assert!(s.gc_runs > 0, "the emergency floor must still reclaim space");
+    for lpn in 0..plain.geometry_info().logical_pages {
+        assert_eq!(
+            plain.mapping().lookup(lpn).is_some(),
+            starved.mapping().lookup(lpn).is_some(),
+            "liveness diverged at lpn {lpn}"
+        );
+    }
+
+    // NaN and negative allowances clamp to zero rather than poisoning the
+    // budget comparison.
+    for bogus in [f64::NAN, -1.0] {
+        let clamped = drive_with_allowance(Some(bogus));
+        let c = clamped.stats();
+        assert_eq!(c.gc_slices, s.gc_slices, "allowance {bogus} must behave like 0");
+        assert_eq!(c.gc_stall_us.to_bits(), s.gc_stall_us.to_bits());
+    }
+}
+
+#[test]
 fn program_failure_on_relocated_page_while_parked_restages_without_data_loss() {
     // Tiny slices park the job on nearly every quantum; a high program-fail
     // rate then lands failures on relocated pages while the victim is

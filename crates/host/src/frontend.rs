@@ -4,7 +4,7 @@ use crate::arbiter::{Arbiter, Arbitration};
 use crate::queue::{Queued, TenantSpec, TenantState, TenantStats};
 use ftl::sched::{Arena, CalendarQueue};
 use ftl::trace::TracedRequest;
-use ftl::{EngineMode, IoOp, IoRequest, QosClass, Ssd};
+use ftl::{EngineMode, IoOp, IoRequest, QosClass, Ssd, TimedOutcome};
 use std::collections::VecDeque;
 
 /// A multi-queue host frontend: one submission queue per tenant, feeding
@@ -220,7 +220,7 @@ impl HostFrontend {
                 state.freed_at = self.now;
             }
             let qos = state.spec.qos;
-            let out = self.ssd.timed_step(item.submit, item.req, qos)?;
+            let out = self.step_with_slo(k, item, qos)?;
             self.now = self.now.max(out.completion_us);
             self.dispatch_log.push(k);
             let stats = &mut self.tenants[k].stats;
@@ -241,6 +241,41 @@ impl HostFrontend {
             }
             stats.completed += 1;
         }
+    }
+
+    /// One device step under tenant `k`'s GC SLO, shared by both drains so
+    /// their allowance decisions are identical step for step. For a tenant
+    /// with a [`crate::GcSlo`], the device's per-command allowance is set
+    /// to the window's remaining debt budget before the step, the
+    /// collection stall the command was actually charged (the device's
+    /// `gc_stall_us` delta — foreground slices plus any emergency-floor
+    /// reclaim, never idle-gap work) is folded back into the window after
+    /// it, and the allowance is restored to `INFINITY` so other tenants
+    /// stay uncapped. Tenants without an SLO take the plain step — the
+    /// device field never moves off its default, keeping SLO-free runs
+    /// bit-identical to builds without this feature.
+    fn step_with_slo(
+        &mut self,
+        k: usize,
+        item: Queued,
+        qos: QosClass,
+    ) -> ftl::Result<TimedOutcome> {
+        let Some(allowance) = self.tenants[k].gc_allowance(item.submit) else {
+            return self.ssd.timed_step(item.submit, item.req, qos);
+        };
+        self.ssd.set_gc_allowance(allowance);
+        let before = self.ssd.stats().gc_stall_us;
+        let result = self.ssd.timed_step(item.submit, item.req, qos);
+        // Charge the debt even on the error path, mirroring how partial
+        // clocks are folded by `run`.
+        let debt = self.ssd.stats().gc_stall_us - before;
+        self.ssd.set_gc_allowance(f64::INFINITY);
+        let state = &mut self.tenants[k];
+        state.charge_gc_debt(debt);
+        if allowance <= 0.0 {
+            state.stats.gc_throttled += 1;
+        }
+        result
     }
 
     /// Event-driven drain: instead of re-admitting every tenant and
@@ -316,7 +351,7 @@ impl HostFrontend {
                 state.freed_at = self.now;
             }
             let qos = state.spec.qos;
-            let out = self.ssd.timed_step(item.submit, item.req, qos)?;
+            let out = self.step_with_slo(k, item, qos)?;
             self.now = self.now.max(out.completion_us);
             self.dispatch_log.push(k);
             let stats = &mut self.tenants[k].stats;
