@@ -90,10 +90,11 @@ fn parse_cli() -> Cli {
     if commands.is_empty() {
         commands.push("all".to_string());
     }
-    const KNOWN: [&str; 20] = [
+    const KNOWN: [&str; 21] = [
         "all",
         "resilience",
         "recovery",
+        "integrity",
         "queueing",
         "tenants",
         "fleet",
@@ -708,6 +709,94 @@ fn main() {
                 (seq - qstr).abs() > f64::EPSILON,
                 "placement scheme must move the fleet p999 (both cells read {seq})"
             );
+        }
+        if run_all || cmd == "integrity" {
+            eprintln!("[{:?}] running integrity ...", t0.elapsed());
+            // Accelerated retention aging: a hot set churns in the fast
+            // pool while a cold set rots in the slow pool and is read back
+            // round-robin; uncorrectable cold reads are the score. The
+            // patrol interval is a restart cadence, so at the tight
+            // interval the idle budget cannot cover the whole device per
+            // cycle and the scan order decides who gets protected.
+            let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
+            let (accels, intervals): (&[f64], &[f64]) = if cli.quick {
+                (&[0.006], &[50_000.0])
+            } else {
+                (&[0.004, 0.006], &[50_000.0, 150_000.0])
+            };
+            let rows = exp::integrity_experiment(&geo, 9_000, 7, accels, intervals);
+            let mut t = TextTable::new([
+                "Scheme",
+                "patrol",
+                "interval_us",
+                "accel h/us",
+                "uncorrectable",
+                "patrol refresh",
+                "scanned",
+                "passes",
+                "patrol_us",
+                "refresh_us",
+                "clock_us",
+                "read p99",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.scheme.clone(),
+                    r.patrol.clone(),
+                    format!("{:.0}", r.interval_us),
+                    format!("{:.3}", r.accel_h_per_us),
+                    r.cold_uncorrectable.to_string(),
+                    r.patrol_refreshes.to_string(),
+                    r.patrol_scanned_pages.to_string(),
+                    r.patrol_passes.to_string(),
+                    format!("{:.0}", r.patrol_us),
+                    format!("{:.0}", r.refresh_us),
+                    format!("{:.0}", r.clock_us),
+                    us(r.read_p99_us),
+                ]);
+            }
+            println!("== Data integrity: patrol x aging x scheme ==\n{}", t.render());
+            t.write_csv(cli.out.join("integrity.csv")).expect("write csv");
+            // Headlines: the scrubber must beat no-patrol on the aged cold
+            // tail, and PV-aware ordering must protect it at least as well
+            // as a blind sealed-order scan of the same budget.
+            let mean = |label: &str| -> f64 {
+                let cells: Vec<u64> = rows
+                    .iter()
+                    .filter(|r| r.patrol == label)
+                    .map(|r| r.cold_uncorrectable)
+                    .collect();
+                cells.iter().sum::<u64>() as f64 / cells.len().max(1) as f64
+            };
+            let (off, blind, slow) = (mean("off"), mean("blind"), mean("slow-first"));
+            println!(
+                "uncorrectable cold reads per cell: no patrol {off:.0} vs blind patrol \
+                 {blind:.0} vs PV-aware slow-pool-first {slow:.0} ({} fewer than no patrol)",
+                pct(100.0 * (off - slow) / off.max(1.0)),
+            );
+            assert!(slow < off, "patrol must cut uncorrectable reads on the aged cold tail");
+            assert!(blind < off, "even a blind scrubber must beat no patrol");
+            assert!(
+                slow <= blind,
+                "PV-aware slow-pool-first ordering must protect the cold tail at least as \
+                 well as a blind scan"
+            );
+            // Fleet soak: every shard ages under the same machinery, then
+            // every live LPN is swept. The invariant — not a latency — is
+            // the deliverable: nothing is silently lost.
+            let (users, devices) = if cli.quick { (3_000, 2) } else { (6_000, 3) };
+            let soak = exp::soak_experiment(users, devices, 23, 0);
+            println!(
+                "fleet soak: {} devices, {} live pages, {} unreadable, {} sweep uncorrectable \
+                 (all refreshed in-path), {} patrol refreshes — no data loss: {}\n",
+                soak.devices.len(),
+                soak.live_lpns,
+                soak.unreadable_lpns,
+                soak.sweep_uncorrectable,
+                soak.patrol_refreshes,
+                soak.no_data_loss(),
+            );
+            assert!(soak.no_data_loss(), "fleet soak lost data: a live page failed to read back");
         }
         if run_all || cmd == "ssd" {
             eprintln!("[{:?}] running ssd ...", t0.elapsed());

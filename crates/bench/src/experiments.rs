@@ -7,8 +7,9 @@ use crate::runner::{
 };
 use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
 use ftl::{
-    poisson_arrivals, EngineMode, FtlConfig, GcBudget, IoOp, LatencyHistogram, OrganizationScheme,
-    QosClass, QueueModel, Ssd, Workload,
+    poisson_arrivals, EngineMode, FtlConfig, GcBudget, IntegrityConfig, IoOp, IoRequest,
+    LatencyHistogram, OrganizationScheme, PatrolConfig, PatrolOrder, QosClass, QueueModel, Ssd,
+    Workload,
 };
 use host::{Arbitration, HostFrontend, TenantSpec};
 use pvcheck::assembly::Assembler;
@@ -1228,6 +1229,240 @@ pub fn fleet_experiment(
         }
     }
     rows
+}
+
+/// One cell of the data-integrity sweep (`repro integrity`).
+#[derive(Debug, Clone)]
+pub struct IntegrityRow {
+    /// Organization scheme name.
+    pub scheme: String,
+    /// Patrol variant: `off`, `blind` (sealed order) or `slow-first`
+    /// (PV-aware: slow-pool superblocks scanned before fast ones).
+    pub patrol: String,
+    /// Patrol interval, µs of device clock (0 when patrol is off).
+    pub interval_us: f64,
+    /// Retention acceleration, hours of simulated retention per µs of
+    /// device clock.
+    pub accel_h_per_us: f64,
+    /// Uncorrectable cold reads over the run — the number patrol exists
+    /// to drive to zero. (Hot pages churn too fast to rot, so every
+    /// uncorrectable read lands on the cold set.)
+    pub cold_uncorrectable: u64,
+    /// Pages the scrubber refreshed proactively.
+    pub patrol_refreshes: u64,
+    /// Pages the scrubber examined.
+    pub patrol_scanned_pages: u64,
+    /// Complete patrol passes.
+    pub patrol_passes: u64,
+    /// Idle-gap time the scrubber used, µs.
+    pub patrol_us: f64,
+    /// Relocation time spent on in-path (reactive) refreshes, µs.
+    pub refresh_us: f64,
+    /// Final device clock, µs — the run's total aging exposure (patrol and
+    /// refresh work advance the clock too, so protected cells age more).
+    pub clock_us: f64,
+    /// 99th-percentile host read latency, µs.
+    pub read_p99_us: f64,
+}
+
+/// Device configuration of one integrity cell: integrity tracking with the
+/// given retention acceleration and patrol variant on the small-test base.
+fn integrity_config(
+    geometry: &Geometry,
+    scheme: OrganizationScheme,
+    accel: f64,
+    patrol: PatrolConfig,
+) -> FtlConfig {
+    FtlConfig {
+        flash: FlashConfig {
+            geometry: geometry.clone(),
+            variation: flash_model::VariationConfig::default(),
+        },
+        scheme,
+        integrity: IntegrityConfig { track: true, retention_hours_per_us: accel, patrol },
+        // Generous spare area keeps GC cheap: refresh relocations must not
+        // cascade into collection storms that dominate the aging signal.
+        overprovision: 0.45,
+        gc_low_watermark: 3,
+        gc_high_watermark: 5,
+        ..FtlConfig::small_test()
+    }
+}
+
+/// Inter-arrival gap of the integrity workload, µs: comfortably above the
+/// worst per-command service time (a full retry ladder plus a GC slice) so
+/// the queue never grows and every command leaves an idle gap the scrubber
+/// can use. The gap sets the run's total aging exposure — the device clock
+/// tracks wall time, idle included — but it does so *identically* for
+/// every cell (same op count × same gap), so off/blind/slow-first compare
+/// at equal age.
+const INTEGRITY_GAP_US: f64 = 500.0;
+
+/// Drives one integrity cell: a hot working set churns in the fast pool
+/// (standard class) while a cold set, written once as background traffic,
+/// rots in the slow pool; cold pages are read back round-robin throughout
+/// the steady state, so the uncorrectable count measures how well the
+/// scrubber keeps ahead of retention while the device keeps serving.
+#[allow(clippy::too_many_arguments)]
+fn run_integrity_cell(
+    geometry: &Geometry,
+    scheme: OrganizationScheme,
+    accel: f64,
+    patrol: PatrolConfig,
+    label: &str,
+    interval_us: f64,
+    hot_writes: usize,
+    seed: u64,
+) -> IntegrityRow {
+    let config = integrity_config(geometry, scheme, accel, patrol);
+    let mut ssd = Ssd::new(config, seed).expect("integrity config is valid");
+    let info = ssd.geometry_info();
+    let cold_n = info.logical_pages / 4;
+    let hot_n = (info.logical_pages / 4).max(1);
+    let hot_base = cold_n;
+    let hot_lpn = |i: usize| hot_base + (i as u64).wrapping_mul(7919) % hot_n;
+    let mut t = 0.0;
+    let mut step = |ssd: &mut Ssd, op: IoOp, lpn: u64, class: QosClass| {
+        ssd.timed_step(t, IoRequest { op, lpn }, class).expect("integrity workload fits");
+        t += INTEGRITY_GAP_US;
+    };
+    ssd.timed_begin();
+    // Warm-up churn seals fast-pool superblocks ahead of the cold data, so
+    // blind (sealed-order) patrol has hot media to wade through first.
+    for i in 0..hot_writes / 4 {
+        step(&mut ssd, IoOp::Write, hot_lpn(i), QosClass::Standard);
+    }
+    // The cold set: written once as background traffic (slow pool under
+    // function-based placement), never rewritten by the host.
+    for lpn in 0..cold_n {
+        step(&mut ssd, IoOp::Write, lpn, QosClass::Background);
+    }
+    // The long steady state: the cold data ages on the wall clock while
+    // hot churn keeps the device busy, with every fourth op reading one
+    // cold page round-robin. Each of those reads is the moment of truth —
+    // a cold page the scrubber refreshed in time reads clean; one that
+    // rotted past the retry ladder costs an uncorrectable-read refresh.
+    let mut cold_cursor = 0u64;
+    for i in hot_writes / 4..hot_writes {
+        if i % 4 == 0 && cold_n > 0 {
+            step(&mut ssd, IoOp::Read, cold_cursor, QosClass::Standard);
+            cold_cursor = (cold_cursor + 1) % cold_n;
+        } else {
+            step(&mut ssd, IoOp::Write, hot_lpn(i), QosClass::Standard);
+        }
+    }
+    ssd.timed_end();
+    let clock_us = ssd.device_clock_us();
+    let stats = ssd.stats();
+    IntegrityRow {
+        scheme: format!("{scheme:?}"),
+        patrol: label.to_string(),
+        interval_us,
+        accel_h_per_us: accel,
+        cold_uncorrectable: stats.uncorrectable_reads,
+        patrol_refreshes: stats.patrol_refreshes,
+        patrol_scanned_pages: stats.patrol_scanned_pages,
+        patrol_passes: stats.patrol_passes,
+        patrol_us: stats.patrol_us,
+        refresh_us: stats.refresh_us,
+        clock_us,
+        read_p99_us: stats.read_latency.quantile_us(0.99),
+    }
+}
+
+/// Data-integrity sweep: patrol variant × patrol interval × retention
+/// acceleration × organization scheme, on the hot-churn/cold-tail workload
+/// of [`run_integrity_cell`].
+///
+/// Two headlines: patrol eliminates the uncorrectable reads the no-patrol
+/// cell suffers on the aged cold tail, and the PV-aware slow-pool-first
+/// scan order protects the cold data at least as well as a blind
+/// sealed-order scan of the same budget (the slow pool is scanned first,
+/// so cold pages wait at most a pool's worth of scanning per pass instead
+/// of a full pass).
+///
+/// # Panics
+///
+/// Panics if the simulated device rejects the workload (an internal bug).
+#[must_use]
+pub fn integrity_experiment(
+    geometry: &Geometry,
+    hot_writes: usize,
+    seed: u64,
+    accels: &[f64],
+    intervals: &[f64],
+) -> Vec<IntegrityRow> {
+    let schemes = [OrganizationScheme::Sequential, OrganizationScheme::QstrMed { candidates: 4 }];
+    let mut variants: Vec<(String, f64, PatrolConfig)> =
+        vec![("off".to_string(), 0.0, PatrolConfig::Off)];
+    for &interval_us in intervals {
+        for (name, order) in
+            [("blind", PatrolOrder::Blind), ("slow-first", PatrolOrder::SlowPoolFirst)]
+        {
+            variants.push((
+                name.to_string(),
+                interval_us,
+                // A deliberately thin slice: the pass stretches over many
+                // idle gaps, so *where* a pass starts scanning — scan order
+                // — decides which pages it reaches before they rot.
+                PatrolConfig::On { interval_us, slice_us: 60.0, refresh_fraction: 0.5, order },
+            ));
+        }
+    }
+    let mut rows = Vec::new();
+    for &scheme in &schemes {
+        for &accel in accels {
+            for (label, interval_us, patrol) in &variants {
+                rows.push(run_integrity_cell(
+                    geometry,
+                    scheme,
+                    accel,
+                    *patrol,
+                    label,
+                    *interval_us,
+                    hot_writes,
+                    seed,
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Fleet soak: the sharded multi-user workload replayed across `devices`
+/// GC-active shards with integrity tracking, accelerated aging and the
+/// PV-aware scrubber all live, ending in a full read-back sweep of every
+/// shard. The headline is the invariant, not a latency number:
+/// [`fleet::SoakReport::no_data_loss`] — every live logical page reads
+/// back, and every read that crossed the uncorrectable limit was refreshed
+/// in-path.
+///
+/// # Panics
+///
+/// Panics if the simulated devices reject the workload (an internal bug).
+#[must_use]
+pub fn soak_experiment(users: u64, devices: usize, seed: u64, workers: usize) -> fleet::SoakReport {
+    let mut device_config = fleet_device_config(OrganizationScheme::QstrMed { candidates: 4 });
+    device_config.integrity = IntegrityConfig {
+        track: true,
+        retention_hours_per_us: 0.003,
+        patrol: PatrolConfig::On {
+            interval_us: 20_000.0,
+            slice_us: 400.0,
+            refresh_fraction: 0.5,
+            order: PatrolOrder::SlowPoolFirst,
+        },
+    };
+    let mut workload = fleet::FleetWorkload::new(users, devices);
+    workload.mean_gap_us = 20_000.0;
+    let config = fleet::FleetConfig {
+        device_config,
+        workload,
+        fleet_seed: seed,
+        arbitration: Arbitration::WeightedRoundRobin,
+        workers,
+    };
+    fleet::run_fleet_soak(&config).expect("fleet soak fits the devices")
 }
 
 /// The quick pool used by doc examples and smoke tests.

@@ -77,6 +77,11 @@ pub struct FlashArray {
     /// ([`FlashArray::set_fast_latency`]); bit-identical to the uncached
     /// model, so enabling it never changes any reported latency.
     fast_latency: Option<LatencyCache>,
+    /// Whether payload reads accumulate per-block read-disturb counters
+    /// ([`FlashArray::set_track_disturb`]). Off by default: untracked runs
+    /// never allocate counters, and a zero disturb count multiplies the
+    /// RBER by exactly 1.0, so tracking state never perturbs latencies.
+    track_disturb: bool,
 }
 
 impl FlashArray {
@@ -100,6 +105,7 @@ impl FlashArray {
             blocks,
             seals: Vec::new(),
             fast_latency: None,
+            track_disturb: false,
         }
     }
 
@@ -111,6 +117,17 @@ impl FlashArray {
     /// program and erase. Toggling clears the cache.
     pub fn set_fast_latency(&mut self, enabled: bool) {
         self.fast_latency = enabled.then(|| LatencyCache::new(self.model.geometry()));
+    }
+
+    /// Turns read-disturb tracking on or off. When on, every payload read
+    /// bumps its block's disturb counters and
+    /// [`FlashArray::expected_error_bits`] folds the victim page's
+    /// accumulated sibling reads into the RBER. When off (the default) no
+    /// counter is ever touched, and since a zero count contributes a factor
+    /// of exactly `exp(0) == 1.0`, all reported error bits stay
+    /// bit-identical to a build without the feature.
+    pub fn set_track_disturb(&mut self, enabled: bool) {
+        self.track_disturb = enabled;
     }
 
     /// The fault oracle this array draws media failures from.
@@ -326,8 +343,28 @@ impl FlashArray {
     pub fn read_page(&self, page: PageAddr) -> Result<(u64, f64)> {
         let idx = self.check_wl(page.wl)?;
         let data = self.blocks[idx].read_page(self.geometry(), page)?;
+        if self.track_disturb {
+            let total = self.geometry().pages_per_block() as usize;
+            let pidx =
+                (page.wl.lwl.0 * self.geometry().pages_per_lwl() + page.page.index()) as usize;
+            self.blocks[idx].record_read_disturb(total, pidx);
+        }
         let pe = self.blocks[idx].wear.pe_cycles();
         Ok((data, self.model.read_latency_us(page, pe)))
+    }
+
+    /// Accumulated read disturb of one page: payload reads of *sibling*
+    /// pages in its block since the last erase. Zero unless
+    /// [`FlashArray::set_track_disturb`] is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page address is outside the geometry.
+    #[must_use]
+    pub fn read_disturbs(&self, page: PageAddr) -> u64 {
+        let idx = self.geometry().block_index(page.wl.block);
+        let pidx = (page.wl.lwl.0 * self.geometry().pages_per_lwl() + page.page.index()) as usize;
+        self.blocks[idx].read_disturbs(pidx)
     }
 
     fn check_mp_distinct(addrs: impl Iterator<Item = BlockAddr>) -> Result<()> {
@@ -413,8 +450,9 @@ impl FlashArray {
     }
 
     /// Expected error bits when reading `page` after `retention_hours` of
-    /// data retention, including any injected weak-block elevation (16 KB
-    /// user data per page, the paper's platform).
+    /// data retention, including the page's accumulated read disturb (when
+    /// tracked) and any injected weak-block elevation (16 KB user data per
+    /// page, the paper's platform).
     ///
     /// # Panics
     ///
@@ -424,12 +462,15 @@ impl FlashArray {
         let idx = self.geometry().block_index(page.wl.block);
         let pe = self.blocks[idx].wear.pe_cycles();
         let layer = self.geometry().layer_of(page.wl.lwl);
+        let pidx = (page.wl.lwl.0 * self.geometry().pages_per_lwl() + page.page.index()) as usize;
+        let disturbs = self.blocks[idx].read_disturbs(pidx);
         self.ber.expected_error_bits(
             self.geometry(),
             page.wl.block,
             layer,
             pe,
             retention_hours,
+            disturbs,
             16 * 1024,
         ) * self.fault.ber_multiplier(page.wl.block)
     }
@@ -810,5 +851,55 @@ mod tests {
         let bits = a.expected_error_bits(page, 0.0);
         let retry = crate::retry::RetryModel::default();
         assert!(retry.is_uncorrectable(bits), "weak page must exceed the retry ladder: {bits}");
+    }
+
+    #[test]
+    fn sibling_read_hammering_elevates_error_bits_until_erase() {
+        let mut a = array();
+        a.set_track_disturb(true);
+        let b = blk(0, 3);
+        a.erase_block(b).unwrap();
+        a.program_wl(b.wl(LwlId(0)), &[1, 2, 3]).unwrap();
+        let victim = b.wl(LwlId(0)).page(PageType::Lsb);
+        let sibling = b.wl(LwlId(0)).page(PageType::Msb);
+        let quiet = a.expected_error_bits(victim, 0.0);
+        for _ in 0..5_000 {
+            a.read_page(sibling).unwrap();
+        }
+        assert_eq!(a.read_disturbs(victim), 5_000);
+        let hammered = a.expected_error_bits(victim, 0.0);
+        assert!(hammered > quiet * 5.0, "{quiet} -> {hammered}");
+        // Reads of the victim itself do not disturb it further.
+        a.read_page(victim).unwrap();
+        assert_eq!(a.read_disturbs(victim), 5_000);
+        // Erase wipes the accumulated disturb with the data (the rewritten
+        // page is one P/E cycle older, so compare against the hammered
+        // level, not bitwise against the original).
+        a.erase_block(b).unwrap();
+        a.program_wl(b.wl(LwlId(0)), &[1, 2, 3]).unwrap();
+        assert_eq!(a.read_disturbs(victim), 0);
+        assert!(a.expected_error_bits(victim, 0.0) < hammered / 5.0);
+    }
+
+    #[test]
+    fn untracked_reads_leave_error_bits_bit_identical() {
+        // Hammer one array with tracking off: every expected-error-bit
+        // answer must equal a never-read twin's, bit for bit.
+        let mut a = array();
+        let mut twin = array();
+        let b = blk(1, 6);
+        for arr in [&mut a, &mut twin] {
+            arr.erase_block(b).unwrap();
+            arr.program_wl(b.wl(LwlId(0)), &[1, 2, 3]).unwrap();
+        }
+        let victim = b.wl(LwlId(0)).page(PageType::Lsb);
+        for _ in 0..1_000 {
+            a.read_page(b.wl(LwlId(0)).page(PageType::Msb)).unwrap();
+        }
+        assert_eq!(a.read_disturbs(victim), 0, "tracking off records nothing");
+        assert_eq!(
+            a.expected_error_bits(victim, 3.5).to_bits(),
+            twin.expected_error_bits(victim, 3.5).to_bits()
+        );
     }
 }

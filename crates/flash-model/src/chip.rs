@@ -6,6 +6,7 @@ use crate::ids::{BlockAddr, LwlId, PageAddr};
 use crate::spor::PageOob;
 use crate::wear::WearState;
 use crate::Result;
+use std::cell::{Cell, RefCell};
 
 /// Lifecycle phase of a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -42,6 +43,14 @@ pub(crate) struct BlockState {
     /// word-line exposes neither payload nor OOB, and the block takes no
     /// further programs until erased.
     pub torn_lwl: Option<LwlId>,
+    /// Payload reads of any page in this block since the last erase.
+    /// Interior mutability because reads take `&self`; cleared by erase.
+    block_reads: Cell<u64>,
+    /// Per-page own-read counts, same indexing as `pages` and sized lazily
+    /// on the first recorded read. A page's *disturb* count is
+    /// `block_reads - own_reads[idx]`: reads of sibling word-lines stress
+    /// a victim page's cells, reads of the page itself do not.
+    own_reads: RefCell<Vec<u64>>,
 }
 
 impl Default for BlockState {
@@ -53,6 +62,8 @@ impl Default for BlockState {
             pages: None,
             oob: None,
             torn_lwl: None,
+            block_reads: Cell::new(0),
+            own_reads: RefCell::new(Vec::new()),
         }
     }
 }
@@ -65,6 +76,27 @@ impl BlockState {
         self.pages = None;
         self.oob = None;
         self.torn_lwl = None;
+        self.block_reads.set(0);
+        self.own_reads.borrow_mut().clear();
+    }
+
+    /// Records one disturbing payload read of page `idx` (of `total` pages
+    /// in the block). Called by the array only when disturb tracking is on,
+    /// so untracked runs never allocate the counter vector.
+    pub(crate) fn record_read_disturb(&self, total: usize, idx: usize) {
+        self.block_reads.set(self.block_reads.get() + 1);
+        let mut own = self.own_reads.borrow_mut();
+        if own.len() < total {
+            own.resize(total, 0);
+        }
+        own[idx] += 1;
+    }
+
+    /// Accumulated read disturb of page `idx`: sibling reads since the
+    /// block's last erase. Zero when tracking never recorded anything.
+    pub(crate) fn read_disturbs(&self, idx: usize) -> u64 {
+        let own = self.own_reads.borrow().get(idx).copied().unwrap_or(0);
+        self.block_reads.get().saturating_sub(own)
     }
 
     /// Marks the block failed after a media fault, preserving already-
@@ -263,5 +295,42 @@ mod tests {
         b.erase();
         let err = b.program_wl(&g, addr(), LwlId(0), &[1, 2], None).unwrap_err();
         assert_eq!(err, FlashError::DataLengthMismatch { expected: 3, got: 2 });
+    }
+
+    #[test]
+    fn sibling_reads_disturb_a_page_but_own_reads_do_not() {
+        let g = geo();
+        let total = g.pages_per_block() as usize;
+        let b = BlockState::default();
+        // Three reads of page 0, one of page 1: page 0 suffered exactly the
+        // sibling read, page 1 the three reads of page 0, page 2 all four.
+        for _ in 0..3 {
+            b.record_read_disturb(total, 0);
+        }
+        b.record_read_disturb(total, 1);
+        assert_eq!(b.read_disturbs(0), 1);
+        assert_eq!(b.read_disturbs(1), 3);
+        assert_eq!(b.read_disturbs(2), 4);
+    }
+
+    #[test]
+    fn erase_resets_read_disturb() {
+        let g = geo();
+        let total = g.pages_per_block() as usize;
+        let mut b = BlockState::default();
+        b.erase();
+        b.record_read_disturb(total, 0);
+        b.record_read_disturb(total, 0);
+        assert_eq!(b.read_disturbs(1), 2);
+        b.erase();
+        assert_eq!(b.read_disturbs(0), 0);
+        assert_eq!(b.read_disturbs(1), 0);
+    }
+
+    #[test]
+    fn untracked_blocks_report_zero_disturb() {
+        let b = BlockState::default();
+        assert_eq!(b.read_disturbs(0), 0);
+        assert_eq!(b.read_disturbs(7), 0);
     }
 }

@@ -62,13 +62,20 @@ impl RetryModel {
         (rounds as u32).clamp(1, self.max_retries)
     }
 
+    /// Error bits correctable at the deepest retry level — the budget
+    /// [`RetryModel::is_uncorrectable`] compares against. Patrol scrubbers
+    /// refresh pages before their projected error bits reach this limit.
+    #[must_use]
+    pub fn uncorrectable_limit(&self) -> f64 {
+        self.correctable_bits * (1.0 + self.gain_per_retry * f64::from(self.max_retries))
+    }
+
     /// Whether the page is beyond even the deepest retry level and must be
     /// refreshed or retired. A NaN expectation counts as uncorrectable (the
     /// conservative answer for the refresh path).
     #[must_use]
     pub fn is_uncorrectable(&self, expected_error_bits: f64) -> bool {
-        let max_budget =
-            self.correctable_bits * (1.0 + self.gain_per_retry * f64::from(self.max_retries));
+        let max_budget = self.uncorrectable_limit();
         match expected_error_bits.partial_cmp(&max_budget) {
             Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal) => false,
             // Greater — or incomparable (NaN), the conservative answer.
@@ -121,7 +128,8 @@ mod tests {
     #[test]
     fn uncorrectable_beyond_deepest_retry() {
         let m = RetryModel::default();
-        let edge = m.correctable_bits * (1.0 + m.gain_per_retry * f64::from(m.max_retries));
+        let edge = m.uncorrectable_limit();
+        assert!((edge - m.correctable_bits * (1.0 + m.gain_per_retry * 7.0)).abs() < 1e-12);
         assert!(!m.is_uncorrectable(edge * 0.99));
         assert!(m.is_uncorrectable(edge * 1.01));
     }

@@ -50,5 +50,7 @@
 mod runner;
 mod workload;
 
-pub use runner::{run_fleet, DeviceReport, FleetConfig, FleetReport};
+pub use runner::{
+    run_fleet, run_fleet_soak, DeviceReport, FleetConfig, FleetReport, SoakDeviceReport, SoakReport,
+};
 pub use workload::{FleetWorkload, UserOp};

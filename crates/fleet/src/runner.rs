@@ -92,6 +92,68 @@ impl FleetReport {
     }
 }
 
+/// Per-device outcome of a fleet soak: the workload replay followed by a
+/// full sweep reading back every live logical page. The sweep itself runs
+/// with the device's integrity machinery live, so a page the soak aged past
+/// the ECC limit is caught (counted in `sweep_uncorrectable`) and refreshed
+/// in the read path rather than silently lost.
+#[derive(Debug)]
+pub struct SoakDeviceReport {
+    /// Device (shard) id.
+    pub device: usize,
+    /// Commands completed by the frontend during the aging run.
+    pub completed: u64,
+    /// Logical pages mapped when the run finished.
+    pub live_lpns: u64,
+    /// Live pages whose read-back returned no data — the silent-data-loss
+    /// invariant requires this to be zero.
+    pub unreadable_lpns: u64,
+    /// Reads that crossed the uncorrectable limit during the final sweep
+    /// (each one was refreshed in-path; patrol exists to make this zero).
+    pub sweep_uncorrectable: u64,
+    /// In-path refresh relocations triggered by the final sweep. The
+    /// invariant pairs this with `sweep_uncorrectable`: every
+    /// uncorrectable read must have produced exactly one refresh.
+    pub sweep_refreshes: u64,
+    /// Uncorrectable reads during the workload itself (before the sweep).
+    pub run_uncorrectable: u64,
+    /// Pages the background scrubber refreshed proactively.
+    pub patrol_refreshes: u64,
+    /// Pages the background scrubber examined.
+    pub patrol_scanned_pages: u64,
+    /// Complete patrol passes over the sealed population.
+    pub patrol_passes: u64,
+}
+
+/// Fleet-level soak outcome: per-device reports in device-id order plus
+/// the aggregate invariant verdict.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Per-device soak reports, in device-id order.
+    pub devices: Vec<SoakDeviceReport>,
+    /// Live pages across the fleet.
+    pub live_lpns: u64,
+    /// Unreadable live pages across the fleet (zero when no data was lost).
+    pub unreadable_lpns: u64,
+    /// Sweep-time uncorrectable reads across the fleet.
+    pub sweep_uncorrectable: u64,
+    /// Patrol refreshes across the fleet.
+    pub patrol_refreshes: u64,
+    /// Complete patrol passes across the fleet.
+    pub patrol_passes: u64,
+}
+
+impl SoakReport {
+    /// The no-silent-data-loss invariant: every live logical page on every
+    /// device read back successfully, and every read that crossed the
+    /// uncorrectable limit was refreshed on the spot.
+    #[must_use]
+    pub fn no_data_loss(&self) -> bool {
+        self.unreadable_lpns == 0
+            && self.devices.iter().all(|d| d.sweep_refreshes == d.sweep_uncorrectable)
+    }
+}
+
 /// The three-tenant QoS roster every fleet device serves — the same mix
 /// the single-device `repro tenants` sweep uses.
 fn fleet_tenants() -> Vec<TenantSpec> {
@@ -129,6 +191,105 @@ fn run_device(config: &FleetConfig, device: usize) -> ftl::Result<DeviceReport> 
         gc_slices: dev.gc_slices,
         makespan_us: dev.makespan_us,
         latency,
+    })
+}
+
+/// Soaks one device: replays its shard through the frontend on the
+/// integrity-enabled configuration, then consumes the frontend and sweeps
+/// every live logical page, reading each back through the full ECC/aging
+/// path.
+fn soak_device(config: &FleetConfig, device: usize) -> ftl::Result<SoakDeviceReport> {
+    let seed = (config.fleet_seed ^ DEVICE_SEED_SALT)
+        .wrapping_add((device as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let ssd = Ssd::new(config.device_config.clone(), seed)?;
+    let info = ssd.geometry_info();
+    let stream = config.workload.device_stream(config.fleet_seed, device, info.logical_pages);
+    let mut front = HostFrontend::new(ssd, fleet_tenants(), config.arbitration);
+    front.submit_traced_batched(&stream);
+    front.run()?;
+    let completed = front.all_stats().iter().map(|t| t.completed).sum();
+    let mut ssd = front.into_device();
+    let run_uncorrectable = ssd.stats().uncorrectable_reads;
+    let refreshes_before = ssd.stats().refresh_relocations;
+    let mut live_lpns = 0u64;
+    let mut unreadable_lpns = 0u64;
+    for lpn in 0..info.logical_pages {
+        if ssd.mapping().lookup(lpn).is_none() {
+            continue;
+        }
+        live_lpns += 1;
+        if ssd.read(lpn)?.is_none() {
+            unreadable_lpns += 1;
+        }
+    }
+    let stats = ssd.stats();
+    Ok(SoakDeviceReport {
+        device,
+        completed,
+        live_lpns,
+        unreadable_lpns,
+        sweep_uncorrectable: stats.uncorrectable_reads - run_uncorrectable,
+        sweep_refreshes: stats.refresh_relocations - refreshes_before,
+        run_uncorrectable,
+        patrol_refreshes: stats.patrol_refreshes,
+        patrol_scanned_pages: stats.patrol_scanned_pages,
+        patrol_passes: stats.patrol_passes,
+    })
+}
+
+/// Runs a fleet soak: every device replays its shard through the host
+/// frontend on an accelerated-aging configuration, then every live logical
+/// page is read back through the full error-model path. The report carries
+/// the no-silent-data-loss verdict ([`SoakReport::no_data_loss`]): every
+/// live page readable, every uncorrectable read refreshed on the spot.
+///
+/// `device_config` should enable integrity tracking with a nonzero
+/// `retention_hours_per_us` — with aging off the sweep still verifies
+/// readability, but no page can ever age toward the ECC limit, so the
+/// soak degrades to a plain mapping-consistency check.
+///
+/// Same scheduling and determinism contract as [`run_fleet`]: workers
+/// claim devices from a shared cursor, reduction is canonical-order, and
+/// the report is bit-identical for any worker count.
+///
+/// # Errors
+///
+/// Propagates the first device error in device-id order.
+pub fn run_fleet_soak(config: &FleetConfig) -> ftl::Result<SoakReport> {
+    let n = config.workload.devices;
+    let results: Vec<OnceLock<ftl::Result<SoakDeviceReport>>> =
+        (0..n).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.workers
+    }
+    .min(n)
+    .max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let report = soak_device(config, idx);
+                results[idx].set(report).map_err(drop).expect("each device soaks exactly once");
+            });
+        }
+    });
+    let mut devices = Vec::with_capacity(n);
+    for slot in results {
+        devices.push(slot.into_inner().expect("scope joined every worker")?);
+    }
+    Ok(SoakReport {
+        live_lpns: devices.iter().map(|d| d.live_lpns).sum(),
+        unreadable_lpns: devices.iter().map(|d| d.unreadable_lpns).sum(),
+        sweep_uncorrectable: devices.iter().map(|d| d.sweep_uncorrectable).sum(),
+        patrol_refreshes: devices.iter().map(|d| d.patrol_refreshes).sum(),
+        patrol_passes: devices.iter().map(|d| d.patrol_passes).sum(),
+        devices,
     })
 }
 

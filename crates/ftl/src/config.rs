@@ -82,6 +82,75 @@ impl QosClass {
     }
 }
 
+/// Scan order of the background patrol scrubber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PatrolOrder {
+    /// Sealed-list order: superblocks are scanned in the order they were
+    /// sealed, blind to process variation.
+    #[default]
+    Blind,
+    /// PV-aware: slow-pool superblocks first (the pages whose RBER grows
+    /// fastest under retention and disturb are concentrated there by
+    /// function-based placement), then superblocks of unknown class, then
+    /// fast ones — oldest-sealed first within each group.
+    SlowPoolFirst,
+}
+
+/// Background patrol-scrub configuration.
+///
+/// `Off` (the default) leaves every code path bit-identical to a device
+/// without the subsystem. `On` schedules a resumable word-line-granular
+/// scan of all sealed superblocks every `interval_us` of device time,
+/// refreshing pages whose projected error bits cross
+/// `refresh_fraction × uncorrectable_limit` before they rot past the retry
+/// ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PatrolConfig {
+    /// No patrol scrubbing.
+    #[default]
+    Off,
+    /// Periodic patrol scans.
+    On {
+        /// Device time between the end of one pass and the start of the
+        /// next, µs. Must be finite and positive.
+        interval_us: f64,
+        /// Budget per patrol slice in idle gaps and ladder payments, µs.
+        /// Must be finite and positive (a slice never splits a word-line
+        /// step, so it may overrun by one).
+        slice_us: f64,
+        /// Refresh threshold as a fraction of the retry model's
+        /// uncorrectable limit, in `(0, 1]`. Pages at or above it are
+        /// proactively relocated.
+        refresh_fraction: f64,
+        /// Scan order over sealed superblocks.
+        order: PatrolOrder,
+    },
+}
+
+/// Data-integrity model configuration: simulated-time retention aging,
+/// read-disturb tracking, and the patrol scrubber.
+///
+/// The default (`track = false`, zero retention acceleration, patrol off)
+/// is bit-identical to a build without the subsystem: reads compute error
+/// bits at zero age with zero disturbs, and `exp(0) == 1.0` exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityConfig {
+    /// Track per-page write times and per-block read-disturb counters, and
+    /// have reads consult the ECC model at the page's true data age.
+    pub track: bool,
+    /// Retention hours accrued per µs of device time — the accelerated-aging
+    /// knob. `0.0` means data never ages even when tracked.
+    pub retention_hours_per_us: f64,
+    /// Background patrol scrubber (requires `track` when `On`).
+    pub patrol: PatrolConfig,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig { track: false, retention_hours_per_us: 0.0, patrol: PatrolConfig::Off }
+    }
+}
+
 /// Full configuration of the simulated SSD.
 #[derive(Debug, Clone)]
 pub struct FtlConfig {
@@ -142,6 +211,9 @@ pub struct FtlConfig {
     /// crash injection. Enabled by default; it costs zero simulated time
     /// and zero RNG draws, so every result stays bit-identical.
     pub spor: SporConfig,
+    /// Data integrity: retention aging, read disturb and patrol scrubbing.
+    /// Disabled by default (bit-identical to a build without it).
+    pub integrity: IntegrityConfig,
 }
 
 impl FtlConfig {
@@ -172,6 +244,7 @@ impl FtlConfig {
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
             spor: SporConfig::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 
@@ -218,6 +291,29 @@ impl FtlConfig {
                 ));
             }
         }
+        let accel = self.integrity.retention_hours_per_us;
+        if !accel.is_finite() || accel < 0.0 {
+            return Err(format!(
+                "integrity.retention_hours_per_us must be finite and non-negative, got {accel}"
+            ));
+        }
+        if let PatrolConfig::On { interval_us, slice_us, refresh_fraction, .. } =
+            self.integrity.patrol
+        {
+            if !self.integrity.track {
+                return Err("patrol scrubbing requires integrity.track".to_string());
+            }
+            for (name, v) in [("patrol interval_us", interval_us), ("patrol slice_us", slice_us)] {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("{name} must be finite and positive, got {v}"));
+                }
+            }
+            if !refresh_fraction.is_finite() || refresh_fraction <= 0.0 || refresh_fraction > 1.0 {
+                return Err(format!(
+                    "patrol refresh_fraction must be in (0, 1], got {refresh_fraction}"
+                ));
+            }
+        }
         // Every plane must hold: the high watermark of assemblable
         // superblocks, one block per open-superblock slot (the four
         // `Purpose` placement targets, each pinning one block per plane
@@ -257,6 +353,7 @@ impl Default for FtlConfig {
             fault: FaultConfig::default(),
             retry: RetryModel::default(),
             spor: SporConfig::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 }
@@ -331,6 +428,39 @@ mod tests {
         cfg.flash =
             FlashConfig::builder().chips(4).blocks_per_plane(8).pwl_layers(8).strings(4).build();
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn patrol_fields_must_be_finite_positive_like_sliced_gc() {
+        let on = |interval_us, slice_us, refresh_fraction| {
+            let mut cfg = FtlConfig::small_test();
+            cfg.integrity.track = true;
+            cfg.integrity.patrol = PatrolConfig::On {
+                interval_us,
+                slice_us,
+                refresh_fraction,
+                order: PatrolOrder::Blind,
+            };
+            cfg
+        };
+        on(10_000.0, 250.0, 0.8).validate().unwrap();
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            assert!(on(bad, 250.0, 0.8).validate().is_err(), "interval_us={bad}");
+            assert!(on(10_000.0, bad, 0.8).validate().is_err(), "slice_us={bad}");
+        }
+        for bad in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(on(10_000.0, 250.0, bad).validate().is_err(), "refresh_fraction={bad}");
+        }
+        // Patrol without tracking has no ages to project against.
+        let mut cfg = on(10_000.0, 250.0, 0.8);
+        cfg.integrity.track = false;
+        assert!(cfg.validate().is_err(), "patrol requires integrity.track");
+        // The aging knob itself must be a finite non-negative rate.
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let mut cfg = FtlConfig::small_test();
+            cfg.integrity.retention_hours_per_us = bad;
+            assert!(cfg.validate().is_err(), "retention_hours_per_us={bad}");
+        }
     }
 
     #[test]

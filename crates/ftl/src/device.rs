@@ -1,9 +1,9 @@
 //! The SSD facade: request dispatch, write path, foreground GC and timing.
 
 use crate::active::{ActiveSlots, ActiveSuperblock, FailedMember, Purpose, FILLER, PURPOSES};
-use crate::config::{FtlConfig, QosClass};
+use crate::config::{FtlConfig, PatrolConfig, PatrolOrder, QosClass};
 use crate::error::FtlError;
-use crate::gc::{select_victim, GcBudget, GcJob, SealedSuperblock};
+use crate::gc::{select_victim, GcBudget, GcJob, PatrolJob, SealedSuperblock};
 use crate::manager::{speed_class_for, BlockManager};
 use crate::mapping::Mapping;
 use crate::recovery::{Checkpoint, JournalEntry, RecoveryReport, SporState};
@@ -97,6 +97,23 @@ pub struct Ssd {
     /// ladder slice entirely. The emergency floor ignores it — running out
     /// of assemblable superblocks trumps any SLO.
     gc_allowance_us: f64,
+    /// Per-LPN write time on the device clock, µs
+    /// ([`Ssd::device_clock_us`]); `Some` only when integrity tracking is
+    /// on. Reset on every program of the LPN (a relocation rewrites the
+    /// physical charge, so its retention clock restarts).
+    birth_us: Option<Vec<f64>>,
+    /// Partially completed patrol pass parked between slices; `None` when
+    /// no pass is mid-flight. Cursors live only in RAM (crash-safe to drop:
+    /// the pass merely restarts).
+    patrol_job: Option<PatrolJob>,
+    /// Device-clock time at which the next patrol pass is due, µs.
+    patrol_due_at: f64,
+    /// Wall time the device spent idle during timed replays, µs: the sum of
+    /// gaps where the next arrival lay beyond all accrued work. Charge
+    /// trapped in flash cells leaks during idle time exactly as during
+    /// work, so the device clock counts both; untimed replays have no
+    /// arrival schedule and leave this at zero (work is the only clock).
+    idle_wall_us: f64,
 }
 
 /// Exact `floor(physical_pages * (1 - overprovision))` in integer
@@ -135,6 +152,9 @@ impl Ssd {
     pub fn new(config: FtlConfig, seed: u64) -> Result<Ssd> {
         config.validate().map_err(|reason| FtlError::InvalidConfig { reason })?;
         let mut array = FlashArray::with_faults(config.flash.clone(), seed, config.fault.clone());
+        if config.integrity.track {
+            array.set_track_disturb(true);
+        }
         if config.engine == EngineMode::Batched {
             // Bit-identical prefix memoization of program/erase synthesis;
             // kept off under the stepper so the oracle stays on the original
@@ -157,6 +177,10 @@ impl Ssd {
         let spor = SporState::new(&config.spor);
         let fast_ckpt = (config.engine == EngineMode::Batched && config.spor.enabled)
             .then(|| vec![0u64; usize::try_from(logical_pages).expect("capacity fits usize")]);
+        let birth_us = config
+            .integrity
+            .track
+            .then(|| vec![0.0f64; usize::try_from(logical_pages).expect("capacity fits usize")]);
         Ok(Ssd {
             config,
             array,
@@ -178,6 +202,10 @@ impl Ssd {
             fast_ckpt,
             gc_job: None,
             gc_allowance_us: f64::INFINITY,
+            birth_us,
+            patrol_job: None,
+            patrol_due_at: 0.0,
+            idle_wall_us: 0.0,
         })
     }
 
@@ -334,6 +362,14 @@ impl Ssd {
         r: IoRequest,
         class: QosClass,
     ) -> Result<TimedOutcome> {
+        // Credit idle wall time to the device clock: data retention decays
+        // while the device sits idle waiting for this arrival, not just
+        // while it works. (With integrity tracking off nothing reads the
+        // clock, so the credit is inert.)
+        let wall = self.device_clock_us();
+        if arrival > wall {
+            self.idle_wall_us += arrival - wall;
+        }
         let mut engine = self.engine.take().expect("timed_step requires timed_begin");
         let result = match &mut engine {
             EngineState::Single { device_free_at, in_flight } => {
@@ -460,6 +496,14 @@ impl Ssd {
                 }
             }
         }
+        // Patrol scrubbing rides whatever idle gap is left after GC.
+        if *device_free_at < arrival && self.patrol_due() {
+            let t = self.patrol_slice(arrival - *device_free_at)?;
+            if t > 0.0 {
+                *device_free_at += t;
+                self.stats.patrol_us += t;
+            }
+        }
         let start = device_free_at.max(arrival);
         let wait = start - arrival;
         let service = match r.op {
@@ -544,6 +588,26 @@ impl Ssd {
                                 agg[g] = 0.0;
                             }
                         }
+                    }
+                }
+            }
+        }
+        // Patrol scrubbing rides whatever idle gap is left after GC,
+        // charging only the chip/plane groups its reads and refresh
+        // programs actually touch.
+        {
+            let now = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+            if now < arrival && self.patrol_due() {
+                let t = self.patrol_slice(arrival - now)?;
+                if t > 0.0 {
+                    self.stats.patrol_us += t;
+                    self.touches.take_into(buf);
+                    Self::aggregate_touches(buf, groups, agg, touched);
+                    let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                    for &g in touched.iter() {
+                        busy[g] = start + agg[g];
+                        self.stats.chip_busy_us[g] += agg[g];
+                        agg[g] = 0.0;
                     }
                 }
             }
@@ -643,6 +707,15 @@ impl Ssd {
                 }
             }
         }
+        // Patrol scrubbing rides whatever idle gap is left after GC —
+        // identical clock arithmetic to the stepper's hook.
+        if *device_free_at < arrival && self.patrol_due() {
+            let t = self.patrol_slice(arrival - *device_free_at)?;
+            if t > 0.0 {
+                *device_free_at += t;
+                self.stats.patrol_us += t;
+            }
+        }
         let start = device_free_at.max(arrival);
         let wait = start - arrival;
         let service = match r.op {
@@ -722,6 +795,25 @@ impl Ssd {
                                 agg[g] = 0.0;
                             }
                         }
+                    }
+                }
+            }
+        }
+        // Patrol scrubbing rides whatever idle gap is left after GC —
+        // identical clock arithmetic to the stepper's per-chip hook.
+        {
+            let now = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+            if now < arrival && self.patrol_due() {
+                let t = self.patrol_slice(arrival - now)?;
+                if t > 0.0 {
+                    self.stats.patrol_us += t;
+                    self.touches.take_into(buf);
+                    Self::aggregate_touches(buf, groups, agg, touched);
+                    let start = touched.iter().fold(0.0f64, |a, &g| a.max(busy[g]));
+                    for &g in touched.iter() {
+                        busy[g] = start + agg[g];
+                        self.stats.chip_busy_us[g] += agg[g];
+                        agg[g] = 0.0;
                     }
                 }
             }
@@ -865,7 +957,11 @@ impl Ssd {
         self.check_lpn(lpn)?;
         self.touch_controller(self.config.transfer_us);
         let mut latency = self.config.transfer_us;
-        let stall = self.maybe_gc(class)?;
+        let mut stall = self.maybe_gc(class)?;
+        // Overdue patrol work is paid down the same QoS ladder and folded
+        // into the same stall, so per-tenant GC-SLO frontends charge it to
+        // the tenant's debt ledger without any extra plumbing.
+        stall += self.maybe_patrol(class)?;
         if stall > 0.0 {
             self.stats.gc_stall_us += stall;
             self.stats.gc_stall.record(stall);
@@ -903,19 +999,37 @@ impl Ssd {
                     let (tag, t) = self.array.read_page(ppa)?;
                     debug_assert_eq!(tag, lpn, "mapping points at the right payload");
                     self.touch_controller(self.config.transfer_us);
-                    if self.config.fault.enabled() {
-                        // Consult the ECC model; pages past the retry ladder
-                        // are refreshed (rewritten elsewhere) before they rot
-                        // into data loss.
-                        let bits = self.array.expected_error_bits(ppa, 0.0);
+                    if self.config.fault.enabled() || self.config.integrity.track {
+                        // Consult the ECC model at the page's true data age;
+                        // pages past the retry ladder are refreshed
+                        // (rewritten elsewhere) before they rot into data
+                        // loss. Without integrity tracking the age is 0 and
+                        // the disturb count is 0, reproducing the fault-only
+                        // path bit for bit.
+                        let bits = self.array.expected_error_bits(ppa, self.data_age_hours(lpn));
                         let flash_us = self.config.retry.read_latency_us(t, bits);
                         self.touch_block(ppa.wl.block, flash_us);
-                        let mut lat = flash_us + self.config.transfer_us;
                         if self.config.retry.is_uncorrectable(bits) {
-                            lat += self.stage_write(lpn, Purpose::Gc)?;
+                            // The relocation is background work: the host
+                            // sees only the sensing + retry + transfer time,
+                            // and the rewrite lands in `refresh_us` (still
+                            // advancing `busy_us`).
+                            self.stats.uncorrectable_reads += 1;
+                            let mut refresh = 0.0;
+                            if self.manager.assemblable() <= 1 {
+                                // A read-heavy phase stages refreshes with
+                                // no host write in sight to trigger
+                                // collection — reclaim the emergency floor
+                                // so reactive refreshes can't drain the
+                                // free pool into OutOfSpace.
+                                refresh += self.gc_slice_toward(f64::INFINITY, 2)?;
+                            }
+                            refresh += self.stage_write(lpn, Purpose::Gc)?;
+                            self.stats.refresh_us += refresh;
+                            self.stats.busy_us += refresh;
                             self.stats.refresh_relocations += 1;
                         }
-                        lat
+                        flash_us + self.config.transfer_us
                     } else {
                         self.touch_block(ppa.wl.block, t);
                         t + self.config.transfer_us
@@ -1228,9 +1342,16 @@ impl Ssd {
     }
 
     fn apply_assignments(&mut self, assignments: &[(u64, flash_model::PageAddr)]) {
+        let clock = self.device_clock_us();
         for &(lpn, ppa) in assignments {
             debug_assert_ne!(lpn, FILLER);
             self.mapping.map(lpn, ppa);
+            if let Some(birth) = &mut self.birth_us {
+                // A program resets the physical retention clock of the
+                // logical page — host write, GC relocation and patrol
+                // refresh alike.
+                birth[usize::try_from(lpn).expect("lpn fits usize")] = clock;
+            }
             if let Some(table) = &mut self.fast_ckpt {
                 // Mirror the page's OOB write sequence so the next
                 // checkpoint reads it from RAM instead of the spare area.
@@ -1275,7 +1396,12 @@ impl Ssd {
             for summary in summaries {
                 self.manager.learn(summary);
             }
-            self.sealed.push(SealedSuperblock { sb_id, members, sealed_at: self.seal_seq });
+            self.sealed.push(SealedSuperblock {
+                sb_id,
+                members,
+                sealed_at: self.seal_seq,
+                class: Some(self.class_for(purpose)),
+            });
             self.seal_seq += 1;
         } else {
             *self.slot(purpose) = Some(active);
@@ -1350,13 +1476,15 @@ impl Ssd {
             || (self.gc_job.is_some() && assemblable < self.config.gc_high_watermark)
     }
 
-    /// Whether the device will run collection work on upcoming writes
-    /// (sliced mode only — the unbounded collector never reports pending).
-    /// Frontends use this to drain latency-critical queues before granting
+    /// Whether the device will run collection or overdue-patrol work on
+    /// upcoming writes (sliced-GC backlog, or patrol starved past one full
+    /// interval — the unbounded collector never reports pending). Frontends
+    /// use this to drain latency-critical queues before granting
     /// lower-priority commands that would carry a slice.
     #[must_use]
     pub fn gc_slice_pending(&self) -> bool {
-        matches!(self.config.gc_budget, GcBudget::Sliced { .. }) && self.gc_backlog()
+        (matches!(self.config.gc_budget, GcBudget::Sliced { .. }) && self.gc_backlog())
+            || self.patrol_payment_pending()
     }
 
     /// Caps the budgeted collection work the *next* commands may be charged
@@ -1370,6 +1498,212 @@ impl Ssd {
     /// safety outranks an SLO.
     pub fn set_gc_allowance(&mut self, allowance_us: f64) {
         self.gc_allowance_us = if allowance_us.is_nan() { 0.0 } else { allowance_us.max(0.0) };
+    }
+
+    /// The device clock patrol scheduling and data ages run on: total
+    /// foreground busy time plus background (idle-gap) GC and patrol time,
+    /// plus idle wall time credited by timed replays (retention charge
+    /// leaks whether or not the device is working, so an idle device still
+    /// ages its data — and background scrubbing merely *uses* idle time
+    /// rather than extending the clock). Monotone, simulated (never
+    /// host wall-clock), and accumulated identically by the stepper and
+    /// batched engines, so ages — and therefore every integrity decision —
+    /// replay bit-identically.
+    pub fn device_clock_us(&self) -> f64 {
+        self.stats.busy_us + self.stats.idle_gc_us + self.stats.patrol_us + self.idle_wall_us
+    }
+
+    /// Data age of `lpn` in retention hours: device time since its last
+    /// program, scaled by the configured aging acceleration. `0.0` whenever
+    /// integrity tracking is off.
+    fn data_age_hours(&self, lpn: u64) -> f64 {
+        match &self.birth_us {
+            Some(birth) => {
+                let born = birth[usize::try_from(lpn).expect("lpn fits usize")];
+                (self.device_clock_us() - born).max(0.0)
+                    * self.config.integrity.retention_hours_per_us
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Whether patrol wants a slice right now: a pass is mid-flight, or the
+    /// next one has come due on the device clock.
+    fn patrol_due(&self) -> bool {
+        matches!(self.config.integrity.patrol, PatrolConfig::On { .. })
+            && (self.patrol_job.is_some() || self.device_clock_us() >= self.patrol_due_at)
+    }
+
+    /// Whether patrol is starved badly enough (a full interval past due)
+    /// that foreground commands start paying for it down the QoS ladder.
+    fn patrol_payment_pending(&self) -> bool {
+        match self.config.integrity.patrol {
+            PatrolConfig::On { interval_us, .. } => {
+                self.device_clock_us() >= self.patrol_due_at + interval_us
+            }
+            PatrolConfig::Off => false,
+        }
+    }
+
+    /// Runs overdue patrol work on a foreground command's time, down the
+    /// same QoS ladder as sliced GC: background commands pay once patrol is
+    /// one interval past due, standard ones at two intervals, and
+    /// latency-critical ones never. The per-tenant GC allowance caps the
+    /// slice exactly as it caps GC slices; the caller folds the returned
+    /// time into the command's GC stall so SLO ledgers see it.
+    fn maybe_patrol(&mut self, class: QosClass) -> Result<f64> {
+        let PatrolConfig::On { interval_us, slice_us, .. } = self.config.integrity.patrol else {
+            return Ok(0.0);
+        };
+        let pays = match class {
+            QosClass::Background => self.patrol_payment_pending(),
+            QosClass::Standard => self.device_clock_us() >= self.patrol_due_at + 2.0 * interval_us,
+            QosClass::LatencyCritical => false,
+        };
+        if pays && self.gc_allowance_us > 0.0 {
+            self.patrol_slice(slice_us.min(self.gc_allowance_us))
+        } else {
+            Ok(0.0)
+        }
+    }
+
+    /// Runs up to `budget_us` of patrol scanning — further capped by the
+    /// configured `slice_us`, which bounds patrol work per opportunity no
+    /// matter how long the idle gap is (scrubbing is a trickle by design:
+    /// it must never monopolize idle time other background work, or a
+    /// power-conscious host, may want). Parks the in-progress pass when the
+    /// budget runs out. Yields only between super word-line steps (the same
+    /// quantum as a GC slice), so a slice may overrun by one word-line
+    /// scan.
+    fn patrol_slice(&mut self, budget_us: f64) -> Result<f64> {
+        let budget = match self.config.integrity.patrol {
+            PatrolConfig::On { slice_us, .. } => budget_us.min(slice_us),
+            PatrolConfig::Off => return Ok(0.0),
+        };
+        let mut time = 0.0;
+        while self.patrol_due() && time < budget {
+            time += self.patrol_step()?;
+        }
+        Ok(time)
+    }
+
+    /// Sealed-superblock scan order for a new patrol pass.
+    fn patrol_order(&self) -> Vec<u64> {
+        match self.config.integrity.patrol {
+            PatrolConfig::On { order: PatrolOrder::SlowPoolFirst, .. } => {
+                // Slow pool first (GC/background data — the cold tail whose
+                // retention ages worst on the worst media), unknown-class
+                // superblocks next, fast ones last; oldest sealed first
+                // within each group.
+                let mut keyed: Vec<(u8, u64, u64)> = self
+                    .sealed
+                    .iter()
+                    .map(|s| {
+                        let rank = match s.class {
+                            Some(SpeedClass::Slow) => 0u8,
+                            None => 1,
+                            Some(SpeedClass::Fast) => 2,
+                        };
+                        (rank, s.sealed_at, s.sb_id)
+                    })
+                    .collect();
+                keyed.sort_unstable();
+                keyed.into_iter().map(|(_, _, id)| id).collect()
+            }
+            _ => self.sealed.iter().map(|s| s.sb_id).collect(),
+        }
+    }
+
+    /// One word-line-granularity step of the patrol pass: scans every live
+    /// page of the next super word-line, refreshing those whose projected
+    /// error bits crossed the refresh threshold. Completing the pass
+    /// flushes the staged refreshes.
+    ///
+    /// The interval timer re-arms when a pass *starts*, and a pass still
+    /// in flight when the next interval comes due is abandoned and
+    /// restarted from the front of a freshly sorted order. `interval_us`
+    /// is therefore a cadence, not a gap — and when idle bandwidth cannot
+    /// cover the whole device per interval, the scan order decides which
+    /// pages the scarce budget protects: the tail of the order starves.
+    /// Abandonment is safe — staged refreshes stay staged (they flush as
+    /// word lines fill or at the next completed pass) and a scanned-twice
+    /// page merely costs a redundant read.
+    fn patrol_step(&mut self) -> Result<f64> {
+        let PatrolConfig::On { interval_us, refresh_fraction, .. } = self.config.integrity.patrol
+        else {
+            return Ok(0.0);
+        };
+        let mut job = match self.patrol_job.take() {
+            Some(job) if self.device_clock_us() < self.patrol_due_at => job,
+            _ => {
+                self.patrol_due_at = self.device_clock_us() + interval_us;
+                PatrolJob::new(self.patrol_order())
+            }
+        };
+        let refresh_at = refresh_fraction * self.config.retry.uncorrectable_limit();
+        loop {
+            let Some(&sb_id) = job.order.get(job.sb_cursor) else {
+                // Pass complete: make the staged refreshes durable so the
+                // rotting copies actually stop being read.
+                let t = self.flush_purpose(Purpose::Gc)?;
+                self.stats.patrol_passes += 1;
+                return Ok(t);
+            };
+            // The superblock may have been collected while the pass was
+            // parked; its id then no longer resolves and the cursor skips.
+            let Some(sb) = self.sealed.iter().find(|s| s.sb_id == sb_id) else {
+                job.sb_cursor += 1;
+                job.lwl_cursor = 0;
+                continue;
+            };
+            let geo = self.array.geometry();
+            if job.lwl_cursor >= geo.lwls_per_block() {
+                job.sb_cursor += 1;
+                job.lwl_cursor = 0;
+                continue;
+            }
+            let lwl = LwlId(job.lwl_cursor);
+            job.lwl_cursor += 1;
+            let members = sb.members.clone();
+            let cell = geo.cell();
+            let pages_per_lwl = geo.pages_per_lwl();
+            let mut time = 0.0;
+            for member in members {
+                for k in 0..pages_per_lwl {
+                    let pt = PageType::from_index(cell, k).expect("k < pages_per_lwl");
+                    let page = member.wl(lwl).page(pt);
+                    let oob = match self.array.read_oob(page) {
+                        Ok(oob) => oob,
+                        Err(FlashError::ReadUnwritten { .. } | FlashError::TornWordLine { .. }) => {
+                            continue;
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    if oob.is_filler() || self.mapping.lookup(oob.lpn) != Some(page) {
+                        // Filler or a stale copy: nothing to protect.
+                        continue;
+                    }
+                    let (tag, t_read) = self.array.read_page(page)?;
+                    debug_assert_eq!(tag, oob.lpn);
+                    self.touch_block(page.wl.block, t_read);
+                    time += t_read;
+                    self.stats.patrol_scanned_pages += 1;
+                    let bits = self.array.expected_error_bits(page, self.data_age_hours(oob.lpn));
+                    if bits >= refresh_at {
+                        if self.manager.assemblable() <= 1 {
+                            // Same emergency floor as the read path: a
+                            // refresh-heavy pass through aged media must
+                            // not outrun collection and drain the pool.
+                            time += self.gc_slice_toward(f64::INFINITY, 2)?;
+                        }
+                        time += self.stage_write(oob.lpn, Purpose::Gc)?;
+                        self.stats.patrol_refreshes += 1;
+                    }
+                }
+            }
+            self.patrol_job = Some(job);
+            return Ok(time);
+        }
     }
 
     /// Runs up to `budget_us` of relocation work toward the high watermark,
@@ -1572,6 +1906,17 @@ impl Ssd {
                 retired.push(*addr);
             }
         }
+        // Persist the seq → write-time table for the live entries so
+        // recovery can rebuild data ages from its OOB scan. Bounded by the
+        // live-entry count: stale sequences fall out at every checkpoint.
+        let mut write_times = HashMap::new();
+        if let Some(birth) = &self.birth_us {
+            for &(lpn, seq, loc) in &entries {
+                if loc.is_some() {
+                    write_times.insert(seq, birth[usize::try_from(lpn).expect("lpn fits usize")]);
+                }
+            }
+        }
         self.spor.checkpoint = Checkpoint {
             entries,
             sealed,
@@ -1580,6 +1925,7 @@ impl Ssd {
             sb_seq: self.sb_seq,
             seal_seq: self.seal_seq,
             retired,
+            write_times,
         };
         self.spor.journal.clear();
         self.spor.superwls_since_ckpt = 0;
@@ -1616,9 +1962,12 @@ impl Ssd {
         // RAM died with the power: open superblocks, their staging buffers
         // and gatherers are gone. A parked GC job loses only its cursors —
         // the victim was never freed, so it comes back sealed and
-        // re-selectable with its remaining valid pages intact.
+        // re-selectable with its remaining valid pages intact. Likewise a
+        // parked patrol pass: its cursors drop and the pass restarts, but
+        // no mapping state ever depended on them.
         self.actives.clear();
         self.gc_job = None;
+        self.patrol_job = None;
         // 1. Replay the journal over the checkpoint's block sets.
         let mut retired = self.spor.checkpoint.retired.clone();
         let mut freed: HashSet<u64> = HashSet::new();
@@ -1648,6 +1997,9 @@ impl Ssd {
                 sb_id: *id,
                 members: members.clone(),
                 sealed_at: *at,
+                // The checkpoint does not persist the class; PV-aware
+                // patrol ordering treats recovered superblocks as unknown.
+                class: None,
             })
             .collect();
         // 2. Latest-wins merge, seeded with the checkpoint entries and the
@@ -1729,6 +2081,15 @@ impl Ssd {
             match loc {
                 Some(ppa) => {
                     self.mapping.map(lpn, ppa);
+                    if let Some(birth) = &mut self.birth_us {
+                        // Rebuild the page's age from the checkpointed
+                        // seq → time table. A sequence written after that
+                        // checkpoint is missing and conservatively reports
+                        // age since power-on — patrol re-examines it early
+                        // rather than never.
+                        birth[usize::try_from(lpn).expect("lpn fits usize")] =
+                            self.spor.checkpoint.write_times.get(&seq).copied().unwrap_or(0.0);
+                    }
                     report.recovered_mappings += 1;
                 }
                 None if seq > 0 => {
@@ -1746,6 +2107,7 @@ impl Ssd {
                 sb_id: *sb_id,
                 members: members.clone(),
                 sealed_at: self.seal_seq,
+                class: None,
             });
             self.seal_seq += 1;
         }

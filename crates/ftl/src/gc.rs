@@ -3,6 +3,7 @@
 
 use crate::mapping::Mapping;
 use flash_model::{BlockAddr, PageAddr};
+use pvcheck::SpeedClass;
 use std::collections::HashSet;
 
 /// How GC picks its victim superblock.
@@ -84,6 +85,29 @@ impl GcJob {
     }
 }
 
+/// Resumable state of an in-progress patrol pass, mirroring [`GcJob`]:
+/// cursors live only in RAM, so a crash mid-pass merely restarts the pass —
+/// no mapping state depends on them. Each step scans one super word-line
+/// (the same quantum as a GC slice step), so patrol slices preempt at the
+/// identical granularity.
+#[derive(Debug)]
+pub(crate) struct PatrolJob {
+    /// Superblock identities in scan order, snapshot at pass start.
+    /// Superblocks collected mid-pass are simply skipped when their id no
+    /// longer resolves in the sealed list.
+    pub order: Vec<u64>,
+    /// Index into `order` of the superblock being scanned.
+    pub sb_cursor: usize,
+    /// Next logical word-line of the current superblock to scan.
+    pub lwl_cursor: u32,
+}
+
+impl PatrolJob {
+    pub(crate) fn new(order: Vec<u64>) -> Self {
+        PatrolJob { order, sb_cursor: 0, lwl_cursor: 0 }
+    }
+}
+
 /// A fully written superblock awaiting garbage collection.
 #[derive(Debug, Clone)]
 pub(crate) struct SealedSuperblock {
@@ -92,6 +116,10 @@ pub(crate) struct SealedSuperblock {
     pub members: Vec<BlockAddr>,
     /// Monotone sequence number at sealing time (a proxy for age).
     pub sealed_at: u64,
+    /// Speed class the superblock was assembled from, when known (`None`
+    /// after recovery — the checkpoint does not persist it). PV-aware
+    /// patrol ordering scans `Slow` superblocks first.
+    pub class: Option<SpeedClass>,
 }
 
 impl SealedSuperblock {
@@ -157,7 +185,12 @@ mod tests {
     }
 
     fn sealed(b: u32, sealed_at: u64) -> SealedSuperblock {
-        SealedSuperblock { sb_id: u64::from(b), members: vec![blk(0, b), blk(1, b)], sealed_at }
+        SealedSuperblock {
+            sb_id: u64::from(b),
+            members: vec![blk(0, b), blk(1, b)],
+            sealed_at,
+            class: None,
+        }
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub mod trace;
 mod wear_level;
 mod workload;
 
-pub use config::{FtlConfig, OrganizationScheme, PlacementPolicy, QosClass};
+pub use config::{
+    FtlConfig, IntegrityConfig, OrganizationScheme, PatrolConfig, PatrolOrder, PlacementPolicy,
+    QosClass,
+};
 pub use device::{GeometryInfo, Ssd};
 pub use error::FtlError;
 pub use gc::{GcBudget, GcPolicy};

@@ -126,6 +126,13 @@ pub(crate) struct Checkpoint {
     pub seal_seq: u64,
     /// Bad-block table.
     pub retired: Vec<BlockAddr>,
+    /// Write times of the live entries, keyed by OOB write sequence:
+    /// device-clock µs at program time. Lets recovery rebuild per-page data
+    /// ages from the OOB scan (a recovered sequence missing here — written
+    /// after this checkpoint — conservatively reports age since power-on,
+    /// so patrol re-examines it early rather than never). Empty unless
+    /// integrity tracking is on.
+    pub write_times: HashMap<u64, f64>,
 }
 
 /// Live SPOR state inside the device: countdown to the injected crash, the

@@ -286,6 +286,26 @@ pub struct SsdStats {
     pub remapped_writes: u64,
     /// Pages relocated because a read found them beyond the retry ladder.
     pub refresh_relocations: u64,
+    /// Host reads that found their page beyond the deepest retry level —
+    /// each one is a (barely) averted data loss the patrol scrubber exists
+    /// to prevent.
+    pub uncorrectable_reads: u64,
+    /// Relocation time spent refreshing at-risk pages, µs. Kept out of the
+    /// read latency histogram: a read that triggers a refresh reports only
+    /// its sensing + retry + transfer time, and the background rewrite is
+    /// accounted here (it still advances `busy_us`).
+    pub refresh_us: f64,
+    /// Time spent patrol-scrubbing in idle gaps of timed runs, µs
+    /// (background work, kept out of `busy_us` like `idle_gc_us`;
+    /// foreground ladder payments land in `gc_stall_us` instead).
+    pub patrol_us: f64,
+    /// Live pages scanned by the patrol scrubber.
+    pub patrol_scanned_pages: u64,
+    /// Pages the patrol scrubber proactively refreshed (projected error
+    /// bits crossed the refresh threshold).
+    pub patrol_refreshes: u64,
+    /// Completed patrol passes over the sealed superblocks.
+    pub patrol_passes: u64,
     /// Superblocks that lost at least one member (operating degraded or
     /// born short-handed from a depleted pool).
     pub degraded_superblocks: u64,

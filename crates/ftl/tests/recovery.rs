@@ -8,7 +8,8 @@
 //! to the naive `HashMap` oracle through crash + recovery + resumed work.
 
 use ftl::{
-    CrashPoint, FtlConfig, FtlError, GcBudget, IoOp, IoRequest, OrganizationScheme, Ssd, Workload,
+    CrashPoint, FtlConfig, FtlError, GcBudget, IntegrityConfig, IoOp, IoRequest,
+    OrganizationScheme, PatrolConfig, PatrolOrder, Ssd, Workload,
 };
 use proptest::prelude::*;
 
@@ -158,6 +159,84 @@ proptest! {
         }
         // The parked job's cursors died with RAM; the device re-selects the
         // victim and keeps collecting through the rest of the workload.
+        for req in &reqs[resume..] {
+            apply(&mut dense, req).unwrap();
+            apply(&mut naive, req).unwrap();
+        }
+        dense.flush().unwrap();
+        naive.flush().unwrap();
+        for lpn in 0..info.logical_pages {
+            prop_assert_eq!(dense.mapping().lookup(lpn), naive.mapping().lookup(lpn));
+        }
+        prop_assert_eq!(dense.valid_pages(), naive.valid_pages());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole's SPOR contract for the scrubber: with integrity
+    /// tracking, aggressive aging and patrol all active, the crash point
+    /// can land *inside* a patrol pass — refreshes staged but not flushed,
+    /// cursors parked in RAM. Cursors and the in-flight pass die with RAM
+    /// (the pass merely restarts after boot); acknowledged data must still
+    /// recover exactly to the RAM mapping, in lockstep with the naive
+    /// oracle, and every live page must read back.
+    #[test]
+    fn recovery_survives_crashes_inside_a_patrol_pass(
+        crash_seed in any::<u64>(),
+        workload_seed in any::<u64>(),
+        interval_idx in 0usize..3,
+    ) {
+        // From "patrol runs constantly" down to "a pass is usually
+        // mid-flight when the crash fires".
+        let intervals = [2_000.0, 10_000.0, 40_000.0];
+        let mut config = FtlConfig::small_test();
+        config.scheme = OrganizationScheme::QstrMed { candidates: 4 };
+        config.gc_budget = GcBudget::Sliced { slice_us: 300.0 };
+        config.spor.checkpoint_interval = 8;
+        config.spor.crash = Some(CrashPoint::from_seed(crash_seed, 2500));
+        config.integrity = IntegrityConfig {
+            track: true,
+            // Hot enough that pages cross the refresh threshold within the
+            // run, so crashes land between a staged refresh and its flush.
+            retention_hours_per_us: 0.05,
+            patrol: PatrolConfig::On {
+                interval_us: intervals[interval_idx],
+                slice_us: 300.0,
+                refresh_fraction: 0.5,
+                order: PatrolOrder::SlowPoolFirst,
+            },
+        };
+        let mut dense = Ssd::new(config.clone(), 11).unwrap();
+        let mut naive = Ssd::new(config, 11).unwrap();
+        naive.use_naive_mapping_for_benchmarks();
+        let info = dense.geometry_info();
+        let reqs = Workload::RandomWrite { span: 0.6, read_fraction: 0.1 }
+            .generate(&info, (info.logical_pages * 3) as usize, workload_seed);
+        let resume = drive_lockstep(&mut dense, &mut naive, &reqs)?;
+        let ram: Vec<_> = (0..info.logical_pages).map(|l| dense.mapping().lookup(l)).collect();
+        let dense_report = dense.recover().unwrap();
+        let naive_report = naive.recover().unwrap();
+        prop_assert_eq!(dense_report, naive_report);
+        for lpn in 0..info.logical_pages {
+            prop_assert_eq!(dense.mapping().lookup(lpn), ram[lpn as usize], "dense lpn {}", lpn);
+            prop_assert_eq!(naive.mapping().lookup(lpn), ram[lpn as usize], "naive lpn {}", lpn);
+        }
+        // No silent data loss: every page mapped at the crash reads back
+        // after recovery (reactively refreshed if it rotted meanwhile).
+        for (lpn, mapped) in ram.iter().enumerate() {
+            let got = dense.read(lpn as u64).unwrap();
+            prop_assert_eq!(got.is_some(), mapped.is_some(), "readability of lpn {}", lpn);
+        }
+        // The scrubber re-arms from scratch and the pair stays in lockstep
+        // through the rest of the workload. (The readability probe above
+        // may have refreshed pages on dense only, so re-sync the oracle by
+        // driving the same reads through it first.)
+        for (lpn, mapped) in ram.iter().enumerate() {
+            let got = naive.read(lpn as u64).unwrap();
+            prop_assert_eq!(got.is_some(), mapped.is_some(), "naive readability of lpn {}", lpn);
+        }
         for req in &reqs[resume..] {
             apply(&mut dense, req).unwrap();
             apply(&mut naive, req).unwrap();

@@ -11,7 +11,10 @@
 //! as a read-latency sample, so the read histogram fields carry post-fix
 //! regression values while every other field pins the pre-change bits.
 
-use ftl::{poisson_arrivals, EngineMode, FtlConfig, IoOp, IoRequest, QueueModel, Ssd, Workload};
+use ftl::{
+    poisson_arrivals, EngineMode, FtlConfig, IntegrityConfig, IoOp, IoRequest, PatrolConfig,
+    QueueModel, Ssd, Workload,
+};
 
 /// Mixed open-loop workload over the small-test device: 3x-capacity random
 /// writes over half the LPNs with reads (hits and guaranteed misses) and
@@ -146,6 +149,73 @@ fn check_golden(engine: EngineMode) {
         assert_eq!(s.read_latency.mean_us().to_bits(), g.read_mean, "{tag} read mean drifted");
     }
 }
+
+/// Aged-run golden for the refresh-time split.
+///
+/// A reactive refresh — the read retry ladder failing and the device
+/// relocating the page before serving it — used to be invisible; now its
+/// relocation time is charged to `refresh_us` (and `busy_us`), *not* to the
+/// read-latency histogram: the host observes the retry reads it actually
+/// waited on, while the relocation is background work like GC. This test
+/// pins an aged replay (tracking on, accelerated retention, no patrol) so
+/// any future change that leaks relocation time back into read latency, or
+/// stops charging it to `refresh_us`, flips a pinned bit.
+#[test]
+fn reactive_refresh_time_lands_in_refresh_us_not_read_latency() {
+    for engine in [EngineMode::Stepper, EngineMode::Batched] {
+        let mut config = FtlConfig::small_test();
+        config.engine = engine;
+        config.integrity = IntegrityConfig {
+            track: true,
+            retention_hours_per_us: 0.003,
+            patrol: PatrolConfig::Off,
+        };
+        let mut dev = Ssd::new(config, 3).unwrap();
+        let timed = workload(&dev);
+        dev.run_timed(&timed).unwrap();
+        let s = dev.stats();
+        let tag = format!("engine={}", engine.label());
+        assert!(s.uncorrectable_reads > 0, "{tag}: the aged run must exhaust retry ladders");
+        assert_eq!(
+            s.refresh_relocations, s.uncorrectable_reads,
+            "{tag}: every uncorrectable read refreshes exactly once"
+        );
+        assert!(s.refresh_us > 0.0, "{tag}: relocation time is accounted");
+        assert_eq!(s.uncorrectable_reads, AGED.uncorrectable, "{tag} uncorrectable drifted");
+        assert_eq!(s.refresh_us.to_bits(), AGED.refresh_us, "{tag} refresh_us drifted");
+        assert_eq!(s.busy_us.to_bits(), AGED.busy_us, "{tag} busy_us drifted");
+        assert_eq!(s.read_latency.len(), AGED.read_len, "{tag} read sample count drifted");
+        assert_eq!(
+            s.read_latency.mean_us().to_bits(),
+            AGED.read_mean,
+            "{tag} read mean drifted — refresh time may be leaking into the histogram"
+        );
+        assert_eq!(
+            s.read_latency.quantile_us(0.99).to_bits(),
+            AGED.read_p99,
+            "{tag} read p99 drifted"
+        );
+    }
+}
+
+/// Golden bits for the aged replay above; both engines must agree on them.
+struct AgedGolden {
+    uncorrectable: u64,
+    refresh_us: u64,
+    busy_us: u64,
+    read_len: usize,
+    read_mean: u64,
+    read_p99: u64,
+}
+
+const AGED: AgedGolden = AgedGolden {
+    uncorrectable: 533,
+    refresh_us: 0x40f3_7233_3333_3334,
+    busy_us: 0x4145_70e3_9d1f_c225,
+    read_len: 5924,
+    read_mean: 0x4075_e516_bae6_7d7b,
+    read_p99: 0x40b4_b6b3_2229_2a0c,
+};
 
 #[test]
 fn per_chip_model_changes_only_the_clocks() {

@@ -182,11 +182,13 @@ impl HostFrontend {
                 tenant.admit(now);
             }
             let mut ready: Vec<bool> = self.tenants.iter().map(|t| !t.sq.is_empty()).collect();
-            // When the device wants a GC slice, drain latency-critical
-            // queues first: their commands skip the slice device-side, and
-            // granting a lower class first would sandwich the waiting LC
-            // command behind that command's slice. Work-conserving — the
-            // mask only applies while a latency-critical queue is ready.
+            // When the device wants a GC slice — or patrol scrubbing has
+            // starved past a full interval and will bill foreground
+            // commands — drain latency-critical queues first: their
+            // commands skip both payments device-side, and granting a
+            // lower class first would sandwich the waiting LC command
+            // behind that command's slice. Work-conserving — the mask only
+            // applies while a latency-critical queue is ready.
             if self.ssd.gc_slice_pending()
                 && self
                     .tenants
@@ -248,7 +250,8 @@ impl HostFrontend {
     /// with a [`crate::GcSlo`], the device's per-command allowance is set
     /// to the window's remaining debt budget before the step, the
     /// collection stall the command was actually charged (the device's
-    /// `gc_stall_us` delta — foreground slices plus any emergency-floor
+    /// `gc_stall_us` delta — foreground GC slices, overdue patrol-scrub
+    /// payments down the same QoS ladder, plus any emergency-floor
     /// reclaim, never idle-gap work) is folded back into the window after
     /// it, and the allowance is restored to `INFINITY` so other tenants
     /// stay uncapped. Tenants without an SLO take the plain step — the

@@ -7,8 +7,8 @@
 //! identical to the legacy quadratic `submit_traced`.
 
 use ftl::{
-    poisson_arrivals, EngineMode, FtlConfig, GcBudget, IoOp, IoRequest, QosClass, QueueModel, Ssd,
-    Workload,
+    poisson_arrivals, EngineMode, FtlConfig, GcBudget, IntegrityConfig, IoOp, IoRequest,
+    PatrolConfig, PatrolOrder, QosClass, QueueModel, Ssd, Workload,
 };
 use host::{Arbitration, HostFrontend, TenantSpec};
 
@@ -169,6 +169,74 @@ fn batched_drain_matches_stepper_drain_with_sliced_gc() {
         let tag = format!("sliced tenant {}", ts.name);
         assert_eq!(ts.completed, tb.completed, "{tag}: completed");
         assert_samples(ts.write_latency.samples_us(), tb.write_latency.samples_us(), "w", &tag);
+    }
+}
+
+#[test]
+fn batched_drain_matches_stepper_drain_with_patrol_active() {
+    // Full integrity stack under multi-tenant arbitration: the drains must
+    // agree on every idle-gap patrol slice, every overdue-patrol ladder
+    // payment (folded into gc_stall_us and the SLO ledgers), and every
+    // reactive refresh — dispatch for dispatch, bit for bit.
+    let run = |engine: EngineMode| {
+        let mut config = FtlConfig::small_test();
+        config.queue_model = QueueModel::PerChip;
+        config.engine = engine;
+        config.idle_gc = true;
+        config.gc_budget = GcBudget::Sliced { slice_us: 300.0 };
+        config.integrity = IntegrityConfig {
+            track: true,
+            retention_hours_per_us: 0.005,
+            patrol: PatrolConfig::On {
+                interval_us: 20_000.0,
+                slice_us: 300.0,
+                refresh_fraction: 0.5,
+                order: PatrolOrder::SlowPoolFirst,
+            },
+        };
+        let dev = Ssd::new(config, 3).unwrap();
+        let info = dev.geometry_info();
+        let mut streams = Vec::new();
+        for (tenant, mean_us) in [(0u64, 120.0), (1, 300.0), (2, 40.0)] {
+            let n = info.logical_pages as usize;
+            let mut reqs = Workload::random_write(0.4).generate(&info, n, tenant);
+            for (i, r) in reqs.iter_mut().enumerate() {
+                if i % 5 == 2 {
+                    r.op = IoOp::Read;
+                }
+            }
+            streams.push(poisson_arrivals(&reqs, mean_us, tenant + 7));
+        }
+        let mut front = HostFrontend::new(dev, specs(), Arbitration::WeightedRoundRobin);
+        for (tenant, stream) in streams.iter().enumerate() {
+            front.submit(tenant, stream);
+        }
+        front.run().unwrap();
+        assert!(front.drained());
+        front
+    };
+    let stepper = run(EngineMode::Stepper);
+    let batched = run(EngineMode::Batched);
+    let (s, b) = (stepper.device().stats(), batched.device().stats());
+    assert!(s.patrol_scanned_pages > 0, "patrol: the regime must scan");
+    assert_eq!(stepper.dispatch_log(), batched.dispatch_log(), "patrol: dispatch order diverged");
+    assert_eq!(s.patrol_scanned_pages, b.patrol_scanned_pages, "patrol: scanned");
+    assert_eq!(s.patrol_refreshes, b.patrol_refreshes, "patrol: refreshes");
+    assert_eq!(s.patrol_passes, b.patrol_passes, "patrol: passes");
+    assert_eq!(s.uncorrectable_reads, b.uncorrectable_reads, "patrol: uncorrectable");
+    assert_eq!(s.refresh_relocations, b.refresh_relocations, "patrol: refresh_relocations");
+    assert_eq!(s.patrol_us.to_bits(), b.patrol_us.to_bits(), "patrol: patrol_us");
+    assert_eq!(s.refresh_us.to_bits(), b.refresh_us.to_bits(), "patrol: refresh_us");
+    assert_eq!(s.gc_stall_us.to_bits(), b.gc_stall_us.to_bits(), "patrol: gc_stall_us");
+    assert_eq!(s.busy_us.to_bits(), b.busy_us.to_bits(), "patrol: busy_us");
+    assert_samples(s.write_latency.samples_us(), b.write_latency.samples_us(), "w", "patrol");
+    assert_samples(s.read_latency.samples_us(), b.read_latency.samples_us(), "r", "patrol");
+    for tenant in 0..stepper.tenants() {
+        let (ts, tb) = (stepper.tenant_stats(tenant), batched.tenant_stats(tenant));
+        let tag = format!("patrol tenant {}", ts.name);
+        assert_eq!(ts.completed, tb.completed, "{tag}: completed");
+        assert_samples(ts.write_latency.samples_us(), tb.write_latency.samples_us(), "w", &tag);
+        assert_samples(ts.read_latency.samples_us(), tb.read_latency.samples_us(), "r", &tag);
     }
 }
 
