@@ -90,9 +90,10 @@ fn parse_cli() -> Cli {
     if commands.is_empty() {
         commands.push("all".to_string());
     }
-    const KNOWN: [&str; 21] = [
+    const KNOWN: [&str; 22] = [
         "all",
         "resilience",
+        "parity",
         "recovery",
         "integrity",
         "queueing",
@@ -422,6 +423,153 @@ fn main() {
             }
             println!("== Resilience: fault-rate sweep (§VI-C) ==\n{}", t.render());
             t.write_csv(cli.out.join("resilience.csv")).expect("write csv");
+        }
+        if run_all || cmd == "parity" {
+            eprintln!("[{:?}] running parity ...", t0.elapsed());
+            // Same small geometry as the resilience sweep; the experiment
+            // retunes the fault injector to page-granular losses (weak-block
+            // MSB pages just past the retry ladder) — the regime where a
+            // single parity page per super word-line can actually rebuild.
+            let geo = Geometry::new(4, 1, 24, 8, 4, CellType::Tlc);
+            // 40k writes: enough wear that the fault axis bites, while the
+            // highest-rate parity cell (whose stripe stream programs 12
+            // physical pages per 11 logical) still keeps GC ahead of
+            // block retirement.
+            let (writes, rates): (usize, &[f64]) = if cli.quick {
+                (20_000, &[0.0, 0.01, 0.02])
+            } else {
+                (40_000, &[0.0, 0.005, 0.01, 0.015, 0.02])
+            };
+            let rows = exp::parity_experiment(&geo, writes, 7, rates);
+            let mut t = TextTable::new([
+                "fault rate",
+                "Scheme",
+                "parity",
+                "logical pages",
+                "capacity",
+                "uncorrectable",
+                "rebuilt",
+                "dbl-fail",
+                "sweep unc",
+                "sweep lost",
+                "mean rebuild",
+                "rebuild ok",
+                "straggler",
+                "refreshed",
+                "read p99",
+                "write p99",
+            ]);
+            for r in &rows {
+                t.row([
+                    format!("{:.3}", r.fault_rate),
+                    r.scheme.clone(),
+                    if r.parity { "on" } else { "off" }.to_string(),
+                    r.logical_pages.to_string(),
+                    format!("{:.3}", r.capacity_ratio),
+                    r.uncorrectable_reads.to_string(),
+                    r.rebuilds_ok.to_string(),
+                    r.rebuilds_failed.to_string(),
+                    r.sweep_uncorrectable.to_string(),
+                    r.sweep_lost.to_string(),
+                    us(r.mean_rebuild_us),
+                    us(r.mean_rebuild_ok_us),
+                    us(r.mean_rebuild_straggler_us),
+                    r.refresh_relocations.to_string(),
+                    us(r.read_p99_us),
+                    us(r.write_p99_us),
+                ]);
+            }
+            println!("== Superpage parity: off/on × scheme × fault rate ==\n{}", t.render());
+            t.write_csv(cli.out.join("parity.csv")).expect("write csv");
+            // Capacity cost is exactly the reserved stripe slot, never more.
+            for r in rows.iter().filter(|r| r.parity) {
+                assert!(
+                    r.capacity_ratio > 0.90 && r.capacity_ratio < 1.0,
+                    "parity reserve should cost one page per super word-line, got ratio {:.3}",
+                    r.capacity_ratio
+                );
+            }
+            // Headline (a): on the identical final read-back sweep,
+            // wherever the parity-off device lost pages, the parity-on
+            // twin rebuilt some and lost strictly fewer.
+            for off in rows.iter().filter(|r| !r.parity && r.sweep_lost > 0) {
+                let on = rows
+                    .iter()
+                    .find(|r| r.parity && r.scheme == off.scheme && r.fault_rate == off.fault_rate)
+                    .expect("every off cell has an on twin");
+                assert!(
+                    on.rebuilds_ok > 0,
+                    "{} @ {}: parity must rebuild some of the {} lost pages",
+                    off.scheme,
+                    off.fault_rate,
+                    off.sweep_lost
+                );
+                assert!(
+                    on.sweep_lost < off.sweep_lost,
+                    "{} @ {}: parity-on swept {} lost pages vs parity-off {}",
+                    off.scheme,
+                    off.fault_rate,
+                    on.sweep_lost,
+                    off.sweep_lost
+                );
+            }
+            // Headline (b): a rebuild fans its sibling reads out across the
+            // stripe members and waits for the slowest chain, so its wall
+            // time is the stripe's mean chain plus a straggler cost.
+            // QSTR-MED's unified tBR bounds that straggler below PV-blind
+            // sequential assembly's. Measured over successful rebuilds —
+            // failed attempts read rotten siblings at the full retry
+            // ladder — and as critical-minus-mean so that *which* pool the
+            // rebuilt stripes sit in (wear, hot/cold skew) cancels out.
+            let straggler = |scheme: &str| -> f64 {
+                let cells: Vec<&exp::ParityRow> =
+                    rows.iter().filter(|r| r.parity && r.scheme == scheme).collect();
+                let ok: u64 = cells.iter().map(|r| r.rebuilds_ok).sum();
+                let total: f64 =
+                    cells.iter().map(|r| r.mean_rebuild_straggler_us * r.rebuilds_ok as f64).sum();
+                total / ok.max(1) as f64
+            };
+            let (seq, med) = (straggler("Sequential"), straggler("QstrMed { candidates: 4 }"));
+            println!(
+                "mean rebuild straggler cost (critical path over the stripe's mean member \
+                 chain): PV-blind sequential {} vs QSTR-MED {} ({} lower)",
+                us(seq),
+                us(med),
+                pct(100.0 * (seq - med) / seq.max(1e-9)),
+            );
+            assert!(
+                med < seq,
+                "QSTR-MED's unified tBR must bound the rebuild straggler cost below \
+                 PV-blind sequential's slowest member ({med:.2} vs {seq:.2} µs)"
+            );
+            // Fleet soak leg: the stripe active on every shard, the patrol
+            // verifying parity during its existing scan, and the hardened
+            // no-data-loss invariant (which now also demands zero failed
+            // rebuilds) holding end to end.
+            let (users, devices) = if cli.quick { (3_000, 2) } else { (6_000, 3) };
+            let soak = exp::parity_soak_experiment(users, devices, 23, 0);
+            let mismatches: u64 = soak.devices.iter().map(|d| d.parity_mismatch).sum();
+            println!(
+                "parity fleet soak: {} devices, {} live pages, {} unreadable, {} stripes \
+                 parity-verified ({} mismatches), {} rebuilds ok / {} failed — no data loss: {}\n",
+                soak.devices.len(),
+                soak.live_lpns,
+                soak.unreadable_lpns,
+                soak.parity_verified,
+                mismatches,
+                soak.rebuilds_ok,
+                soak.rebuilds_failed,
+                soak.no_data_loss(),
+            );
+            assert!(
+                soak.parity_verified > 0,
+                "the patrol pass must verify sealed stripes' parity during its scan"
+            );
+            assert_eq!(mismatches, 0, "a sealed stripe's XOR no longer closed to zero");
+            assert!(
+                soak.no_data_loss(),
+                "parity fleet soak lost data: an unreadable page or a failed rebuild"
+            );
         }
         if run_all || cmd == "recovery" {
             eprintln!("[{:?}] running recovery ...", t0.elapsed());

@@ -8,8 +8,8 @@ use crate::runner::{
 use flash_model::{FlashArray, FlashConfig, Geometry, PwlLayer, StringId};
 use ftl::{
     poisson_arrivals, EngineMode, FtlConfig, GcBudget, IntegrityConfig, IoOp, IoRequest,
-    LatencyHistogram, OrganizationScheme, PatrolConfig, PatrolOrder, QosClass, QueueModel, Ssd,
-    Workload,
+    LatencyHistogram, OrganizationScheme, ParityConfig, PatrolConfig, PatrolOrder, QosClass,
+    QueueModel, Ssd, Workload,
 };
 use host::{Arbitration, HostFrontend, TenantSpec};
 use pvcheck::assembly::Assembler;
@@ -799,6 +799,181 @@ pub fn resilience_experiment(
     rows
 }
 
+/// One cell of the superpage-parity sweep: a scheme driven over faulty
+/// media with the RAIN stripe on or off (`repro parity`).
+#[derive(Debug, Clone)]
+pub struct ParityRow {
+    /// Organization scheme name.
+    pub scheme: String,
+    /// Whether the super-word-line parity stripe was active.
+    pub parity: bool,
+    /// Per-P/E-cycle block-kill rate fed to `FaultConfig::with_rate`.
+    pub fault_rate: f64,
+    /// Exported logical capacity, pages — shrinks by one page per super
+    /// word-line when parity is on.
+    pub logical_pages: u64,
+    /// Logical capacity relative to the parity-off twin of the same cell.
+    pub capacity_ratio: f64,
+    /// Host/GC reads that crossed the retry ladder over the whole cell.
+    /// Not comparable across the off/on twins: the parity-on GC checks
+    /// relocation reads against the ladder (and rebuilds them), while the
+    /// parity-off GC relocates rotten pages without ever noticing.
+    pub uncorrectable_reads: u64,
+    /// Stripe rebuilds whose XOR verdict matched the lost payload.
+    pub rebuilds_ok: u64,
+    /// Rebuild attempts that found a second failure in the stripe.
+    pub rebuilds_failed: u64,
+    /// Reads of the final read-back sweep that crossed the retry ladder —
+    /// the same read pattern on both twins, so this column IS comparable.
+    pub sweep_uncorrectable: u64,
+    /// Pages the final sweep found actually gone: with parity off every
+    /// sweep uncorrectable is a loss; with parity on only the failed
+    /// rebuilds are.
+    pub sweep_lost: u64,
+    /// Sibling pages read while rebuilding.
+    pub rebuild_reads: u64,
+    /// Mean rebuild critical path over all attempts, µs — the slowest
+    /// member's sibling-read chain, since members fan out across chips.
+    pub mean_rebuild_us: f64,
+    /// Mean critical path over *successful* rebuilds only, µs. Failed
+    /// attempts read uncorrectable siblings at the full retry ladder, so
+    /// the clean regime is reported separately.
+    pub mean_rebuild_ok_us: f64,
+    /// Mean straggler cost per successful rebuild, µs: critical path minus
+    /// the stripe's own mean member chain. The member chains fan out in
+    /// parallel, so the rebuild waits exactly this long past the average —
+    /// the column where stripe-assembly quality shows, independent of
+    /// which pool (fast or slow, hot or cold) the rebuilt stripes sit in.
+    pub mean_rebuild_straggler_us: f64,
+    /// Pages relocated by the reactive-refresh path.
+    pub refresh_relocations: u64,
+    /// 99th-percentile host read latency, µs (rebuild time is charged to
+    /// the refresh ledger, never this histogram).
+    pub read_p99_us: f64,
+    /// 99th-percentile host write latency, µs — carries the cost of the
+    /// extra parity program per super word-line.
+    pub write_p99_us: f64,
+}
+
+/// Superpage-parity sweep: parity off/on × scheme × fault rate under the
+/// resilience fault injector (ROADMAP item 6's capstone experiment).
+///
+/// The fault channel is tuned to the regime where parity can act: the
+/// weak-block multiplier sits inside the retry ladder's window and RBER
+/// is spread across the page types, so a stripe loses its MSB pages while
+/// the LSB/CSB siblings stay correctable. Headlines: (a) parity converts
+/// otherwise-lost pages into successful rebuilds, at a measured capacity
+/// cost of `1/superwl_pages`; (b) QSTR-MED's unified read latencies bound
+/// the rebuild critical path — the slowest member chain — below PV-blind
+/// sequential assembly's.
+///
+/// # Panics
+///
+/// Panics if the simulated device rejects the workload (an internal bug —
+/// degrading gracefully under the sweep's fault rates is the point).
+#[must_use]
+pub fn parity_experiment(
+    geometry: &Geometry,
+    writes: usize,
+    seed: u64,
+    rates: &[f64],
+) -> Vec<ParityRow> {
+    let schemes = [OrganizationScheme::Sequential, OrganizationScheme::QstrMed { candidates: 4 }];
+    let mut rows = Vec::new();
+    for &rate in rates {
+        for &scheme in &schemes {
+            let mut off_logical = 0u64;
+            for parity in [ParityConfig::Off, ParityConfig::On] {
+                let mut fault = flash_model::FaultConfig::with_rate(rate);
+                if rate > 0.0 {
+                    // Page-granular losses: keep weak-block MSB pages just
+                    // past the retry ladder while their LSB/CSB siblings
+                    // stay under it — the only regime where a single
+                    // parity page can rebuild anything. The wide spread is
+                    // the window: MSB reads 1.6× nominal, CSB 1.0×.
+                    fault.weak_ber_multiplier = 110.0;
+                    fault.page_type_ber_spread = 0.6;
+                }
+                // Per-block read spread (correlated with program speed, so
+                // QSTR-MED's program-latency assembly also unifies reads):
+                // the axis that separates the schemes' rebuild critical
+                // paths.
+                let variation = flash_model::VariationConfig {
+                    read_block_sigma_us: 16.0,
+                    read_pgm_corr: 0.8,
+                    ..flash_model::VariationConfig::default()
+                };
+                // A shallow retry step keeps the ladder's latency share
+                // small next to the per-block spread — the uncorrectable
+                // verdict only depends on the ECC budget, never the step —
+                // so the rebuild critical path measures stripe assembly,
+                // not retry-count quantization noise.
+                let retry = flash_model::RetryModel {
+                    retry_step_us: 4.0,
+                    ..flash_model::RetryModel::default()
+                };
+                let config = FtlConfig {
+                    flash: FlashConfig { geometry: geometry.clone(), variation },
+                    scheme,
+                    parity,
+                    fault,
+                    retry,
+                    ..FtlConfig::small_test()
+                };
+                let mut ssd = Ssd::new(config, seed).expect("experiment config is valid");
+                let info = ssd.geometry_info();
+                if !parity.enabled() {
+                    off_logical = info.logical_pages;
+                }
+                let reqs = Workload::hot_cold_80_20().generate(&info, writes, seed ^ 0xabc);
+                ssd.run(&reqs).expect("device degrades gracefully instead of failing");
+                // Snapshot before the sweep: run-phase uncorrectables are
+                // detection-asymmetric (the parity-on GC checks relocation
+                // reads, the parity-off GC can't), so the loss headline is
+                // measured on the sweep alone.
+                let pre_unc = ssd.stats().uncorrectable_reads;
+                let pre_failed = ssd.stats().rebuilds_failed;
+                // Read back a slice of the written space: every LPN must
+                // answer, and on faulty media the uncorrectable ones drive
+                // the rebuild path. Capped below either twin's half-span so
+                // the off/on cells sweep the same number of pages.
+                for lpn in 0..(info.logical_pages / 2).min(3000) {
+                    ssd.read(lpn).expect("read path survives faulty media");
+                }
+                let stats = ssd.stats();
+                let attempts = stats.rebuilds_ok + stats.rebuilds_failed;
+                let sweep_uncorrectable = stats.uncorrectable_reads - pre_unc;
+                rows.push(ParityRow {
+                    scheme: format!("{scheme:?}"),
+                    parity: parity.enabled(),
+                    fault_rate: rate,
+                    logical_pages: info.logical_pages,
+                    capacity_ratio: info.logical_pages as f64 / off_logical.max(1) as f64,
+                    uncorrectable_reads: stats.uncorrectable_reads,
+                    rebuilds_ok: stats.rebuilds_ok,
+                    rebuilds_failed: stats.rebuilds_failed,
+                    sweep_uncorrectable,
+                    sweep_lost: if parity.enabled() {
+                        stats.rebuilds_failed - pre_failed
+                    } else {
+                        sweep_uncorrectable
+                    },
+                    rebuild_reads: stats.rebuild_reads,
+                    mean_rebuild_us: stats.rebuild_us / attempts.max(1) as f64,
+                    mean_rebuild_ok_us: stats.rebuild_ok_us / stats.rebuilds_ok.max(1) as f64,
+                    mean_rebuild_straggler_us: (stats.rebuild_ok_us
+                        - stats.rebuild_ok_fanout_us / f64::from(geometry.chips()))
+                        / stats.rebuilds_ok.max(1) as f64,
+                    refresh_relocations: stats.refresh_relocations,
+                    read_p99_us: stats.read_latency.quantile_us(0.99),
+                    write_p99_us: stats.write_latency.quantile_us(0.99),
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// One cell of the crash-recovery sweep: a scheme crashed at a
 /// deterministic flash-op index and recovered from its OOB metadata.
 #[derive(Debug, Clone)]
@@ -1450,6 +1625,58 @@ pub fn soak_experiment(users: u64, devices: usize, seed: u64, workers: usize) ->
             interval_us: 20_000.0,
             slice_us: 400.0,
             refresh_fraction: 0.5,
+            order: PatrolOrder::SlowPoolFirst,
+        },
+    };
+    let mut workload = fleet::FleetWorkload::new(users, devices);
+    workload.mean_gap_us = 20_000.0;
+    let config = fleet::FleetConfig {
+        device_config,
+        workload,
+        fleet_seed: seed,
+        arbitration: Arbitration::WeightedRoundRobin,
+        workers,
+    };
+    fleet::run_fleet_soak(&config).expect("fleet soak fits the devices")
+}
+
+/// The fleet soak of [`soak_experiment`] with the superpage parity stripe
+/// active on every shard: same sharded aging workload, same scrubber,
+/// one page per super word-line given up to XOR parity. The patrol pass
+/// verifies every sealed stripe's parity during its existing scan
+/// (`parity_verified` / `parity_mismatch`), and the hardened
+/// [`fleet::SoakReport::no_data_loss`] additionally requires that no
+/// rebuild found a double failure.
+///
+/// Retention ages a whole stripe in lockstep, so a rebuild can only save
+/// a page the scrubber *almost* caught — anything long past the ladder
+/// has siblings past it too, and counts as real loss. The soak therefore
+/// pairs the stripe with a patrol budget that actually beats its aging
+/// rate ([`soak_experiment`]'s deliberately loses that race and leans on
+/// reactive refresh, which parity-off can afford): milder acceleration,
+/// a denser patrol cadence, and the RBER page-type spread so the MSB
+/// pages the patrol chases rot ahead of their stripe siblings.
+///
+/// # Panics
+///
+/// Panics if the simulated devices reject the workload (an internal bug).
+#[must_use]
+pub fn parity_soak_experiment(
+    users: u64,
+    devices: usize,
+    seed: u64,
+    workers: usize,
+) -> fleet::SoakReport {
+    let mut device_config = fleet_device_config(OrganizationScheme::QstrMed { candidates: 4 });
+    device_config.parity = ParityConfig::On;
+    device_config.fault.page_type_ber_spread = 0.35;
+    device_config.integrity = IntegrityConfig {
+        track: true,
+        retention_hours_per_us: 0.0015,
+        patrol: PatrolConfig::On {
+            interval_us: 10_000.0,
+            slice_us: 2_000.0,
+            refresh_fraction: 0.35,
             order: PatrolOrder::SlowPoolFirst,
         },
     };

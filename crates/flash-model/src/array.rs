@@ -464,7 +464,7 @@ impl FlashArray {
         let layer = self.geometry().layer_of(page.wl.lwl);
         let pidx = (page.wl.lwl.0 * self.geometry().pages_per_lwl() + page.page.index()) as usize;
         let disturbs = self.blocks[idx].read_disturbs(pidx);
-        self.ber.expected_error_bits(
+        let bits = self.ber.expected_error_bits(
             self.geometry(),
             page.wl.block,
             layer,
@@ -472,7 +472,16 @@ impl FlashArray {
             retention_hours,
             disturbs,
             16 * 1024,
-        ) * self.fault.ber_multiplier(page.wl.block)
+        ) * self.fault.ber_multiplier(page.wl.block);
+        // Page-type spread (LSB best, MSB worst) is the page-granular error
+        // channel; the multiply is skipped at zero spread so the default
+        // stays bit-identical to the block-granular model.
+        let ptm = self.fault.page_type_ber_mult(page.page.index(), self.geometry().pages_per_lwl());
+        if ptm == 1.0 {
+            bits
+        } else {
+            bits * ptm
+        }
     }
 
     /// Multi-plane / multi-chip page read.

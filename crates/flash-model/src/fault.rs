@@ -33,6 +33,13 @@ pub struct FaultConfig {
     pub weak_block_prob: f64,
     /// RBER multiplier applied to weak blocks' pages.
     pub weak_ber_multiplier: f64,
+    /// Linear RBER spread across the page types sharing one word-line:
+    /// the LSB page reads `1 - spread` of the nominal rate, the last page
+    /// (MSB) `1 + spread`. `0.0` (the default) keeps every page type at
+    /// exactly the nominal rate — and is the physical channel that lets a
+    /// superpage parity stripe lose its worst page type while the same
+    /// word-line's better pages stay correctable.
+    pub page_type_ber_spread: f64,
 }
 
 impl Default for FaultConfig {
@@ -43,6 +50,7 @@ impl Default for FaultConfig {
             fail_growth_per_kpe: 0.0,
             weak_block_prob: 0.0,
             weak_ber_multiplier: 1.0,
+            page_type_ber_spread: 0.0,
         }
     }
 }
@@ -67,6 +75,7 @@ impl FaultConfig {
             fail_growth_per_kpe: 0.25,
             weak_block_prob: (4.0 * rate).min(1.0),
             weak_ber_multiplier: 300.0,
+            page_type_ber_spread: 0.0,
         }
     }
 
@@ -174,6 +183,19 @@ impl FaultInjector {
             1.0
         }
     }
+
+    /// RBER factor for the page at `page_index` within its word-line
+    /// (TLC: 0 = LSB … `pages_per_lwl - 1` = MSB). Exactly `1.0` at zero
+    /// spread or for single-page (SLC) word-lines.
+    #[must_use]
+    pub fn page_type_ber_mult(&self, page_index: u32, pages_per_lwl: u32) -> f64 {
+        let s = self.config.page_type_ber_spread;
+        if s == 0.0 || pages_per_lwl < 2 {
+            return 1.0;
+        }
+        let x = 2.0 * f64::from(page_index) / f64::from(pages_per_lwl - 1) - 1.0;
+        1.0 + s * x
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +205,26 @@ mod tests {
 
     fn addr(b: u32) -> BlockAddr {
         BlockAddr::new(ChipId(0), PlaneId(0), BlockId(b))
+    }
+
+    #[test]
+    fn page_type_spread_orders_lsb_below_msb_and_is_exact_at_zero() {
+        let spread = FaultInjector::new(
+            FaultConfig { page_type_ber_spread: 0.35, ..FaultConfig::default() },
+            1,
+        );
+        // TLC: LSB reads below nominal, CSB at it, MSB above it.
+        assert!((spread.page_type_ber_mult(0, 3) - 0.65).abs() < 1e-12);
+        assert!((spread.page_type_ber_mult(1, 3) - 1.0).abs() < 1e-12);
+        assert!((spread.page_type_ber_mult(2, 3) - 1.35).abs() < 1e-12);
+        // SLC word-lines have nothing to spread over.
+        assert_eq!(spread.page_type_ber_mult(0, 1), 1.0);
+        // Zero spread is exactly 1.0 for every page type — the gate that
+        // keeps the default error model bit-identical.
+        let flat = FaultInjector::new(FaultConfig::default(), 1);
+        for k in 0..3 {
+            assert_eq!(flat.page_type_ber_mult(k, 3), 1.0);
+        }
     }
 
     #[test]

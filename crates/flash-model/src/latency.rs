@@ -46,6 +46,7 @@ const TAG_ERS_NOISE: u64 = 0x52;
 const TAG_ERS_OUTLIER: u64 = 0x53;
 const TAG_ERS_OUTLIER_MAG: u64 = 0x54;
 const TAG_READ_NOISE: u64 = 0x60;
+const TAG_READ_BLOCK: u64 = 0x61;
 
 /// Deterministic latency synthesizer for one flash array.
 ///
@@ -322,6 +323,17 @@ impl LatencyModel {
         let v = &self.var;
         let [c, p, b] = Self::block_tags(page.wl.block);
         let step = v.read_page_step_us * f64::from(page.page.index());
+        // Per-block tR deviation, correlated with program speed through the
+        // same latent quality the erase path uses. Gated so the default
+        // (sigma 0) adds a literal `+ 0.0` and stays bit-identical.
+        let block_dev = if v.read_block_sigma_us > 0.0 {
+            let rho = v.read_pgm_corr;
+            v.read_block_sigma_us
+                * (rho * self.local_quality(page.wl.block)
+                    + (1.0 - rho * rho).sqrt() * self.sampler.normal(&[TAG_READ_BLOCK, c, p, b]))
+        } else {
+            0.0
+        };
         let noise = v.read_noise_sigma_us
             * self.wear_noise_factor(pe)
             * self.sampler.normal(&[
@@ -333,7 +345,7 @@ impl LatencyModel {
                 u64::from(page.page.index()),
                 u64::from(pe),
             ]);
-        (v.read_base_us + step + noise).max(1.0)
+        (v.read_base_us + step + block_dev + noise).max(1.0)
     }
 
     /// Sum of per-LWL program latencies over a whole block — the paper's
@@ -598,6 +610,36 @@ mod tests {
         let csb = m.read_latency_us(wl.page(PageType::Csb), 0);
         let msb = m.read_latency_us(wl.page(PageType::Msb), 0);
         assert!(lsb < csb && csb < msb);
+    }
+
+    #[test]
+    fn read_block_sigma_zero_leaves_reads_unchanged() {
+        let base = model();
+        let with_corr = LatencyModel::new(
+            Geometry::small_test(),
+            VariationConfig { read_pgm_corr: 0.8, ..VariationConfig::default() },
+            99,
+        );
+        let page = blk(1, 5).wl(LwlId(3)).page(PageType::Csb);
+        // sigma stays 0, so the corr knob alone must not move a single bit.
+        assert_eq!(
+            base.read_latency_us(page, 7).to_bits(),
+            with_corr.read_latency_us(page, 7).to_bits()
+        );
+    }
+
+    #[test]
+    fn read_block_sigma_spreads_blocks() {
+        let cfg = VariationConfig {
+            read_block_sigma_us: 6.0,
+            read_pgm_corr: 0.8,
+            read_noise_sigma_us: 0.0,
+            ..VariationConfig::default()
+        };
+        let m = LatencyModel::new(Geometry::small_test(), cfg, 99);
+        let a = m.read_latency_us(blk(0, 0).wl(LwlId(0)).page(PageType::Lsb), 0);
+        let b = m.read_latency_us(blk(2, 5).wl(LwlId(0)).page(PageType::Lsb), 0);
+        assert_ne!(a, b, "per-block tR deviation should differ across blocks");
     }
 
     #[test]

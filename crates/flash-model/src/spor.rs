@@ -29,10 +29,29 @@ impl PageOob {
     /// LPN marker for filler/padding pages that carry no host data.
     pub const FILLER_LPN: u64 = u64::MAX;
 
+    /// LPN marker for RAIN parity pages. The payload of a parity page is the
+    /// XOR of its super-word-line siblings' payload tags, which can collide
+    /// with any real LPN — the OOB marker is what keeps recovery scans from
+    /// aliasing parity into the L2P table.
+    pub const PARITY_LPN: u64 = u64::MAX - 1;
+
     /// Whether this page is padding rather than host data.
     #[must_use]
     pub fn is_filler(&self) -> bool {
         self.lpn == Self::FILLER_LPN
+    }
+
+    /// Whether this page holds RAIN parity rather than host data.
+    #[must_use]
+    pub fn is_parity(&self) -> bool {
+        self.lpn == Self::PARITY_LPN
+    }
+
+    /// Whether this page may appear in the L2P table (host data, as opposed
+    /// to filler padding or parity).
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        !self.is_filler() && !self.is_parity()
     }
 }
 
@@ -85,5 +104,16 @@ mod tests {
     fn host_oob_is_not_filler() {
         let oob = PageOob { lpn: 42, seq: 7, sb_id: 3, member_slot: 1 };
         assert!(!oob.is_filler());
+        assert!(!oob.is_parity());
+        assert!(oob.is_mapped());
+    }
+
+    #[test]
+    fn parity_oob_is_neither_filler_nor_mapped() {
+        let oob = PageOob { lpn: PageOob::PARITY_LPN, seq: 0, sb_id: 3, member_slot: 2 };
+        assert!(oob.is_parity());
+        assert!(!oob.is_filler());
+        assert!(!oob.is_mapped());
+        assert!(!PageOob::default().is_mapped());
     }
 }

@@ -126,6 +126,15 @@ pub struct VariationConfig {
     pub read_page_step_us: f64,
     /// σ of per-read noise.
     pub read_noise_sigma_us: f64,
+    /// σ of the per-block read-latency deviation (tR spread). Zero by
+    /// default: the base model treats tR as block-uniform, and experiments
+    /// probing read-path process variation opt in explicitly.
+    pub read_block_sigma_us: f64,
+    /// Correlation between a block's read deviation and its program speed.
+    /// With a positive value, sorting blocks by program latency (QSTR-MED)
+    /// also unifies read latency — the channel that bounds a parity
+    /// rebuild's slowest-sibling critical path.
+    pub read_pgm_corr: f64,
 }
 
 impl Default for VariationConfig {
@@ -166,6 +175,8 @@ impl Default for VariationConfig {
             read_base_us: 58.0,
             read_page_step_us: 14.0,
             read_noise_sigma_us: 1.5,
+            read_block_sigma_us: 0.0,
+            read_pgm_corr: 0.0,
         }
     }
 }
@@ -213,6 +224,15 @@ impl VariationConfig {
         }
         if !(-1.0..=1.0).contains(&self.ers_pgm_corr) {
             return Err(format!("ers_pgm_corr must be in [-1,1], got {}", self.ers_pgm_corr));
+        }
+        if !(-1.0..=1.0).contains(&self.read_pgm_corr) {
+            return Err(format!("read_pgm_corr must be in [-1,1], got {}", self.read_pgm_corr));
+        }
+        if self.read_block_sigma_us < 0.0 {
+            return Err(format!(
+                "read_block_sigma_us must be non-negative, got {}",
+                self.read_block_sigma_us
+            ));
         }
         if self.pulse_us <= 0.0 || self.ers_quantum_us <= 0.0 {
             return Err("quantum sizes must be positive".to_string());

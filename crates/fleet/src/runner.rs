@@ -123,6 +123,16 @@ pub struct SoakDeviceReport {
     pub patrol_scanned_pages: u64,
     /// Complete patrol passes over the sealed population.
     pub patrol_passes: u64,
+    /// Stripe rebuilds that reproduced the lost payload (parity on).
+    pub rebuilds_ok: u64,
+    /// Stripe rebuilds that could not — double failures inside one super
+    /// word-line. True data loss; the no-silent-loss invariant requires
+    /// this to be zero.
+    pub rebuilds_failed: u64,
+    /// Parity pages the scrubber verified against their stripe XOR.
+    pub parity_verified: u64,
+    /// Stripes whose parity no longer matched (degraded protection).
+    pub parity_mismatch: u64,
 }
 
 /// Fleet-level soak outcome: per-device reports in device-id order plus
@@ -141,15 +151,26 @@ pub struct SoakReport {
     pub patrol_refreshes: u64,
     /// Complete patrol passes across the fleet.
     pub patrol_passes: u64,
+    /// Successful stripe rebuilds across the fleet (parity on).
+    pub rebuilds_ok: u64,
+    /// Failed stripe rebuilds across the fleet — double failures. Nonzero
+    /// fails [`SoakReport::no_data_loss`].
+    pub rebuilds_failed: u64,
+    /// Parity stripes verified by patrol across the fleet.
+    pub parity_verified: u64,
 }
 
 impl SoakReport {
     /// The no-silent-data-loss invariant: every live logical page on every
-    /// device read back successfully, and every read that crossed the
-    /// uncorrectable limit was refreshed on the spot.
+    /// device read back successfully, every read that crossed the
+    /// uncorrectable limit was refreshed on the spot, and — with parity on
+    /// — no stripe rebuild ever failed (a failed rebuild is a double
+    /// failure inside one super word-line: true data loss, and it must
+    /// fail the soak rather than hide behind the reactive refresh).
     #[must_use]
     pub fn no_data_loss(&self) -> bool {
         self.unreadable_lpns == 0
+            && self.rebuilds_failed == 0
             && self.devices.iter().all(|d| d.sweep_refreshes == d.sweep_uncorrectable)
     }
 }
@@ -234,6 +255,10 @@ fn soak_device(config: &FleetConfig, device: usize) -> ftl::Result<SoakDeviceRep
         patrol_refreshes: stats.patrol_refreshes,
         patrol_scanned_pages: stats.patrol_scanned_pages,
         patrol_passes: stats.patrol_passes,
+        rebuilds_ok: stats.rebuilds_ok,
+        rebuilds_failed: stats.rebuilds_failed,
+        parity_verified: stats.parity_verified,
+        parity_mismatch: stats.parity_mismatch,
     })
 }
 
@@ -289,6 +314,9 @@ pub fn run_fleet_soak(config: &FleetConfig) -> ftl::Result<SoakReport> {
         sweep_uncorrectable: devices.iter().map(|d| d.sweep_uncorrectable).sum(),
         patrol_refreshes: devices.iter().map(|d| d.patrol_refreshes).sum(),
         patrol_passes: devices.iter().map(|d| d.patrol_passes).sum(),
+        rebuilds_ok: devices.iter().map(|d| d.rebuilds_ok).sum(),
+        rebuilds_failed: devices.iter().map(|d| d.rebuilds_failed).sum(),
+        parity_verified: devices.iter().map(|d| d.parity_verified).sum(),
         devices,
     })
 }

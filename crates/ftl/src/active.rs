@@ -146,6 +146,9 @@ pub(crate) struct ActiveSuperblock {
     next_lwl: u32,
     lwls_per_block: u32,
     pages_per_lwl: u32,
+    /// Whether the last page of every super word-line is reserved for XOR
+    /// parity over its siblings (RAIN).
+    parity: bool,
     staging: Vec<u64>,
     gatherers: Vec<BlockGatherer>,
 }
@@ -157,6 +160,7 @@ impl ActiveSuperblock {
         strings: u16,
         layers: u16,
         pages_per_lwl: u32,
+        parity: bool,
     ) -> Self {
         let gatherers = members.iter().map(|&a| BlockGatherer::new(a, strings, layers)).collect();
         ActiveSuperblock {
@@ -165,6 +169,7 @@ impl ActiveSuperblock {
             next_lwl: 0,
             lwls_per_block: u32::from(strings) * u32::from(layers),
             pages_per_lwl,
+            parity,
             staging: Vec::new(),
             gatherers,
         }
@@ -178,6 +183,12 @@ impl ActiveSuperblock {
     /// Pages one super word-line holds.
     pub(crate) fn superwl_pages(&self) -> usize {
         self.members.len() * self.pages_per_lwl as usize
+    }
+
+    /// Host-data pages one super word-line holds: all of them, minus the
+    /// reserved parity slot when parity is on.
+    pub(crate) fn data_pages(&self) -> usize {
+        self.superwl_pages() - usize::from(self.parity)
     }
 
     /// Whether every word-line has been programmed.
@@ -195,7 +206,7 @@ impl ActiveSuperblock {
     pub(crate) fn stage(&mut self, lpn: u64) -> bool {
         debug_assert!(!self.is_full(), "staging into a full superblock");
         self.staging.push(lpn);
-        self.staging.len() >= self.superwl_pages()
+        self.staging.len() >= self.data_pages()
     }
 
     /// Replaces any staged copies of `lpn` with filler (trim of a buffered
@@ -216,9 +227,10 @@ impl ActiveSuperblock {
         !self.staging.is_empty()
     }
 
-    /// Pads the staging buffer with filler pages up to one super word-line.
+    /// Pads the staging buffer with filler pages up to one super word-line
+    /// (less the parity slot, which [`Self::program_superwl`] fills).
     pub(crate) fn pad(&mut self) {
-        let target = self.superwl_pages();
+        let target = self.data_pages();
         while self.staging.len() < target {
             self.staging.push(FILLER);
         }
@@ -254,8 +266,17 @@ impl ActiveSuperblock {
         array: &mut FlashArray,
         spor: &mut SporState,
     ) -> Result<SuperwlProgram> {
-        debug_assert_eq!(self.staging.len(), self.superwl_pages());
+        debug_assert_eq!(self.staging.len(), self.data_pages());
         debug_assert!(!self.is_full());
+        if self.parity {
+            // The parity slot is the last staged position: last member, last
+            // page type. Its payload is the XOR of every data/filler tag in
+            // the stripe, so the XOR over the *whole* stripe is zero and any
+            // one lost page equals the XOR of its survivors.
+            let xor = self.staging.iter().fold(0u64, |acc, &tag| acc ^ tag);
+            self.staging.push(xor);
+        }
+        debug_assert_eq!(self.staging.len(), self.superwl_pages());
         let ppl = self.pages_per_lwl as usize;
         let members = self.members.len();
         let lwl = flash_model::LwlId(self.next_lwl);
@@ -282,11 +303,25 @@ impl ActiveSuperblock {
             let programmed = if spor.enabled {
                 let oob: Vec<PageOob> = payload
                     .iter()
-                    .map(|&lpn| PageOob {
-                        lpn,
-                        seq: if lpn == FILLER { 0 } else { spor.next_seq() },
-                        sb_id: self.sb_id,
-                        member_slot: m as u16,
+                    .enumerate()
+                    .map(|(k, &lpn)| {
+                        // The parity slot is identified by position, never by
+                        // value: its XOR payload can collide with any tag.
+                        if self.parity && m == members - 1 && k == ppl - 1 {
+                            PageOob {
+                                lpn: PageOob::PARITY_LPN,
+                                seq: 0,
+                                sb_id: self.sb_id,
+                                member_slot: m as u16,
+                            }
+                        } else {
+                            PageOob {
+                                lpn,
+                                seq: if lpn == FILLER { 0 } else { spor.next_seq() },
+                                sb_id: self.sb_id,
+                                member_slot: m as u16,
+                            }
+                        }
                     })
                     .collect();
                 array.program_wl_with_oob(wls[m], payload, &oob)
@@ -299,7 +334,13 @@ impl ActiveSuperblock {
                     survived.push(m);
                 }
                 Err(e) if e.is_media_failure() => {
-                    failures.push(FailedMember { addr: self.members[m], payload: payload.clone() });
+                    let mut payload = payload.clone();
+                    if self.parity && m == members - 1 {
+                        // Never let the XOR tag be restaged as a logical page
+                        // by the failure-relocation path.
+                        *payload.last_mut().expect("ppl >= 1") = FILLER;
+                    }
+                    failures.push(FailedMember { addr: self.members[m], payload });
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -313,6 +354,9 @@ impl ActiveSuperblock {
         let mut assignments = Vec::new();
         for &m in &survived {
             for k in 0..ppl {
+                if self.parity && m == members - 1 && k == ppl - 1 {
+                    continue; // parity page: never mapped
+                }
                 let lpn = self.staging[k * members + m];
                 if lpn != FILLER {
                     let pt = PageType::from_index(cell, k as u32).expect("k < pages_per_lwl");
@@ -363,7 +407,20 @@ mod tests {
         for &m in &members {
             array.erase_block(m).unwrap();
         }
-        let active = ActiveSuperblock::new(members, 0, 4, 2, 3);
+        let active = ActiveSuperblock::new(members, 0, 4, 2, 3, false);
+        (array, active)
+    }
+
+    fn setup_parity() -> (FlashArray, ActiveSuperblock) {
+        let config =
+            FlashConfig::builder().chips(4).blocks_per_plane(4).pwl_layers(2).strings(4).build();
+        let mut array = FlashArray::new(config, 1);
+        let members: Vec<BlockAddr> =
+            (0..4).map(|c| BlockAddr::new(ChipId(c), PlaneId(0), BlockId(0))).collect();
+        for &m in &members {
+            array.erase_block(m).unwrap();
+        }
+        let active = ActiveSuperblock::new(members, 0, 4, 2, 3, true);
         (array, active)
     }
 
@@ -413,7 +470,7 @@ mod tests {
                     continue 'seeds;
                 }
             }
-            let mut a = ActiveSuperblock::new(members.clone(), 0, 4, 2, 3);
+            let mut a = ActiveSuperblock::new(members.clone(), 0, 4, 2, 3, false);
             let mut spor = SporState::disabled();
             for wl in 0..8u64 {
                 for p in 0..a.superwl_pages() as u64 {
@@ -468,7 +525,7 @@ mod tests {
         for &m in &members {
             array.erase_block(m).unwrap();
         }
-        let mut a = ActiveSuperblock::new(members, 7, 4, 2, 3);
+        let mut a = ActiveSuperblock::new(members, 7, 4, 2, 3, false);
         let mut spor =
             SporState::new(&SporConfig { enabled: true, checkpoint_interval: 0, crash: None });
         for i in 0..11 {
@@ -524,6 +581,62 @@ mod tests {
             assert_eq!(array.torn_lwl(m).unwrap(), None);
             assert!(array.read_page(m.wl(flash_model::LwlId(0)).page(PageType::Lsb)).is_err());
         }
+    }
+
+    #[test]
+    fn parity_stripe_xors_to_zero_and_parity_page_is_unmapped() {
+        use crate::recovery::SporConfig;
+        let (mut array, mut a) = setup_parity();
+        let mut spor =
+            SporState::new(&SporConfig { enabled: true, checkpoint_interval: 0, crash: None });
+        assert_eq!(a.superwl_pages(), 12);
+        assert_eq!(a.data_pages(), 11);
+        for i in 0..10 {
+            assert!(!a.stage(100 + i), "trigger only at data_pages");
+        }
+        assert!(a.stage(110));
+        let result = a.program_superwl(&mut array, &mut spor).unwrap();
+        // All 11 data pages map; the parity page does not.
+        assert_eq!(result.assignments.len(), 11);
+        let parity_page = a.members[3].wl(flash_model::LwlId(0)).page(PageType::Msb);
+        assert!(!result.assignments.iter().any(|&(_, p)| p == parity_page));
+        let oob = array.read_oob(parity_page).unwrap();
+        assert!(oob.is_parity());
+        assert!(!oob.is_mapped());
+        assert_eq!(oob.seq, 0, "parity never consumes a sequence number");
+        // XOR over the whole stripe is zero: any one page equals the XOR
+        // of its survivors.
+        let mut acc = 0u64;
+        for m in &a.members {
+            for pt in [PageType::Lsb, PageType::Csb, PageType::Msb] {
+                let (tag, _) = array.read_page(m.wl(flash_model::LwlId(0)).page(pt)).unwrap();
+                acc ^= tag;
+            }
+        }
+        assert_eq!(acc, 0);
+        let (parity_tag, _) = array.read_page(parity_page).unwrap();
+        let expected: u64 = (100..111u64).fold(0, |x, l| x ^ l);
+        assert_eq!(parity_tag, expected);
+    }
+
+    #[test]
+    fn parity_pad_leaves_room_for_the_parity_slot() {
+        let (mut array, mut a) = setup_parity();
+        a.stage(5);
+        a.pad();
+        let result = a.program_superwl(&mut array, &mut SporState::disabled()).unwrap();
+        assert_eq!(result.assignments.len(), 1);
+        // 1 data + 10 filler XOR to 5^(10 fillers): fillers cancel pairwise,
+        // so the stored parity is FILLER-count-parity dependent — just check
+        // the stripe XORs to zero.
+        let mut acc = 0u64;
+        for m in &a.members {
+            for pt in [PageType::Lsb, PageType::Csb, PageType::Msb] {
+                let (tag, _) = array.read_page(m.wl(flash_model::LwlId(0)).page(pt)).unwrap();
+                acc ^= tag;
+            }
+        }
+        assert_eq!(acc, 0);
     }
 
     #[test]

@@ -127,6 +127,32 @@ pub enum PatrolConfig {
     },
 }
 
+/// RAIN-style superpage parity configuration.
+///
+/// `Off` (the default) is bit-identical to a build without the subsystem.
+/// `On` reserves the last member page of every super word-line as XOR
+/// parity over its siblings: the parity page is computed and programmed
+/// atomically with the data members, carries OOB marking it non-mapped
+/// (recovery never aliases it into the L2P), shrinks exported logical
+/// capacity by `1/superwl_pages`, and lets an uncorrectable read rebuild
+/// its payload from the surviving siblings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParityConfig {
+    /// No parity protection.
+    #[default]
+    Off,
+    /// One XOR parity page per super word-line.
+    On,
+}
+
+impl ParityConfig {
+    /// Whether parity protection is active.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        matches!(self, ParityConfig::On)
+    }
+}
+
 /// Data-integrity model configuration: simulated-time retention aging,
 /// read-disturb tracking, and the patrol scrubber.
 ///
@@ -214,6 +240,9 @@ pub struct FtlConfig {
     /// Data integrity: retention aging, read disturb and patrol scrubbing.
     /// Disabled by default (bit-identical to a build without it).
     pub integrity: IntegrityConfig,
+    /// RAIN-style superpage parity. Disabled by default (bit-identical to
+    /// a build without it).
+    pub parity: ParityConfig,
 }
 
 impl FtlConfig {
@@ -245,6 +274,28 @@ impl FtlConfig {
             retry: RetryModel::default(),
             spor: SporConfig::default(),
             integrity: IntegrityConfig::default(),
+            parity: ParityConfig::Off,
+        }
+    }
+
+    /// Pages per super word-line under this configuration: one page from
+    /// every chip/plane pool at the same page-type index.
+    #[must_use]
+    pub fn superwl_pages(&self) -> u64 {
+        let geo = &self.flash.geometry;
+        u64::from(geo.chips()) * u64::from(geo.planes_per_chip()) * u64::from(geo.pages_per_lwl())
+    }
+
+    /// Physical pages reserved for parity out of `physical_pages`, before
+    /// over-provisioning is applied. Zero when parity is off. The physical
+    /// page count is always a whole number of super word-lines, so the
+    /// reserve (one page per super word-line) divides exactly.
+    #[must_use]
+    pub fn parity_reserve_pages(&self, physical_pages: u64) -> u64 {
+        if self.parity.enabled() {
+            physical_pages / self.superwl_pages()
+        } else {
+            0
         }
     }
 
@@ -314,6 +365,11 @@ impl FtlConfig {
                 ));
             }
         }
+        if self.parity.enabled() && self.superwl_pages() < 2 {
+            return Err(
+                "parity needs super word-lines of at least 2 pages (1 data + 1 parity)".to_string()
+            );
+        }
         // Every plane must hold: the high watermark of assemblable
         // superblocks, one block per open-superblock slot (the four
         // `Purpose` placement targets, each pinning one block per plane
@@ -354,6 +410,7 @@ impl Default for FtlConfig {
             retry: RetryModel::default(),
             spor: SporConfig::default(),
             integrity: IntegrityConfig::default(),
+            parity: ParityConfig::Off,
         }
     }
 }
@@ -461,6 +518,31 @@ mod tests {
             cfg.integrity.retention_hours_per_us = bad;
             assert!(cfg.validate().is_err(), "retention_hours_per_us={bad}");
         }
+    }
+
+    #[test]
+    fn parity_reserve_is_one_page_per_super_word_line() {
+        let mut cfg = FtlConfig::small_test();
+        // 4 chips × 1 plane × 3 pages/lwl (TLC) = 12-page super word-lines.
+        assert_eq!(cfg.superwl_pages(), 12);
+        assert_eq!(cfg.parity_reserve_pages(9216), 0, "parity off reserves nothing");
+        cfg.parity = ParityConfig::On;
+        cfg.validate().unwrap();
+        assert_eq!(cfg.parity_reserve_pages(9216), 768);
+    }
+
+    #[test]
+    fn parity_configs_keep_the_min_blocks_bound() {
+        // Parity shrinks logical capacity, not the free-block pool; the
+        // OOM-loop bound must hold (and reject) exactly as without parity.
+        let mut cfg = FtlConfig::small_test();
+        cfg.parity = ParityConfig::On;
+        cfg.flash =
+            FlashConfig::builder().chips(4).blocks_per_plane(7).pwl_layers(8).strings(4).build();
+        assert!(cfg.validate().is_err(), "7 < high(3) + slots(4) + victim(1), parity or not");
+        cfg.flash =
+            FlashConfig::builder().chips(4).blocks_per_plane(8).pwl_layers(8).strings(4).build();
+        cfg.validate().unwrap();
     }
 
     #[test]

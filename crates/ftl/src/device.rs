@@ -163,7 +163,10 @@ impl Ssd {
         }
         let geo = array.geometry().clone();
         let physical_pages = geo.total_blocks() * u64::from(geo.pages_per_block());
-        let logical_pages = logical_capacity(physical_pages, config.overprovision);
+        // Parity first, then over-provisioning: the parity reserve (one page
+        // per super word-line) is raw capacity the host can never address.
+        let usable_pages = physical_pages - config.parity_reserve_pages(physical_pages);
+        let logical_pages = logical_capacity(usable_pages, config.overprovision);
         let config_wear_threshold = config.wear_threshold;
         let mut manager = BlockManager::new(&geo, config.scheme, seed ^ 0x5eed);
         if config.precharacterize {
@@ -1015,18 +1018,34 @@ impl Ssd {
                             // and the rewrite lands in `refresh_us` (still
                             // advancing `busy_us`).
                             self.stats.uncorrectable_reads += 1;
-                            let mut refresh = 0.0;
+                            if self.config.parity.enabled() {
+                                self.rebuild_page(lpn, ppa, None)?;
+                            }
+                            let mut slice = 0.0;
                             if self.manager.assemblable() <= 1 {
                                 // A read-heavy phase stages refreshes with
                                 // no host write in sight to trigger
                                 // collection — reclaim the emergency floor
                                 // so reactive refreshes can't drain the
                                 // free pool into OutOfSpace.
-                                refresh += self.gc_slice_toward(f64::INFINITY, 2)?;
+                                slice = self.gc_slice_toward(f64::INFINITY, 2)?;
                             }
-                            refresh += self.stage_write(lpn, Purpose::Gc)?;
-                            self.stats.refresh_us += refresh;
-                            self.stats.busy_us += refresh;
+                            let restage = self.stage_write(lpn, Purpose::Gc)?;
+                            if self.config.parity.enabled() && slice > 0.0 {
+                                // Rebuild-triggered emergency collection is
+                                // paid like a foreground GC stall so per-
+                                // tenant GC-SLO frontends charge it to the
+                                // tenant's debt ledger.
+                                self.stats.gc_stall_us += slice;
+                                self.stats.gc_stall.record(slice);
+                                self.stats.busy_us += slice;
+                                self.stats.refresh_us += restage;
+                                self.stats.busy_us += restage;
+                            } else {
+                                let refresh = slice + restage;
+                                self.stats.refresh_us += refresh;
+                                self.stats.busy_us += refresh;
+                            }
                             self.stats.refresh_relocations += 1;
                         }
                         flash_us + self.config.transfer_us
@@ -1045,6 +1064,133 @@ impl Ssd {
         // Refresh relocations on the fault path may have programmed.
         self.maybe_checkpoint()?;
         Ok(Some(latency))
+    }
+
+    /// Rebuilds the payload of an uncorrectable page from its super-word-line
+    /// siblings plus parity (RAIN). Every surviving page of the stripe is
+    /// read (`rebuild_reads`) and the tags XOR back to the lost LPN when the
+    /// stripe is intact; the caller then restages the payload. Sibling reads
+    /// proceed chip-parallel, so the charged critical path is the slowest
+    /// *member* — the rebuild-latency channel where unified-tR superpages
+    /// beat PV-blind assembly. Rebuild time lands in `rebuild_us` and
+    /// `busy_us`, never the read histogram.
+    ///
+    /// A stripe that cannot produce the payload — a second uncorrectable
+    /// sibling, a dropped member whose tags are gone, or a missing parity
+    /// page — counts in `rebuilds_failed`: true data loss, reported, never
+    /// silently absorbed.
+    fn rebuild_page(
+        &mut self,
+        lpn: u64,
+        ppa: PageAddr,
+        stripe: Option<&[BlockAddr]>,
+    ) -> Result<()> {
+        debug_assert!(self.config.parity.enabled());
+        // A GC caller hands the victim's members directly (the victim may
+        // already be off the sealed list); otherwise locate the stripe.
+        let members: Option<Vec<BlockAddr>> = match stripe {
+            Some(m) => Some(m.to_vec()),
+            None => self
+                .sealed
+                .iter()
+                .find(|s| s.members.contains(&ppa.wl.block))
+                .map(|s| s.members.clone())
+                .or_else(|| {
+                    self.actives
+                        .iter()
+                        .find(|a| a.members.contains(&ppa.wl.block))
+                        .map(|a| a.members.clone())
+                }),
+        };
+        let Some(members) = members else {
+            self.stats.rebuilds_failed += 1;
+            return Ok(());
+        };
+        // Stripe siblings were programmed in the same instant as the lost
+        // page, so its retention age is theirs.
+        let age = self.data_age_hours(lpn);
+        let geo = self.array.geometry();
+        let cell = geo.cell();
+        let pages_per_lwl = geo.pages_per_lwl();
+        let mut acc = 0u64;
+        let mut intact = true;
+        let mut saw_parity = false;
+        let mut critical_us = 0.0f64;
+        let mut fanout_us = 0.0f64;
+        for &member in &members {
+            let mut member_us = 0.0;
+            for k in 0..pages_per_lwl {
+                let pt = PageType::from_index(cell, k).expect("k < pages_per_lwl");
+                let page = member.wl(ppa.wl.lwl).page(pt);
+                if page == ppa {
+                    continue;
+                }
+                match self.array.read_page(page) {
+                    Ok((tag, t)) => {
+                        let bits = self.array.expected_error_bits(page, age);
+                        member_us += self.config.retry.read_latency_us(t, bits);
+                        self.stats.rebuild_reads += 1;
+                        if self.config.retry.is_uncorrectable(bits) {
+                            // Double failure within one super word-line.
+                            intact = false;
+                        } else {
+                            acc ^= tag;
+                            if self.array.read_oob(page).is_ok_and(|o| o.is_parity()) {
+                                saw_parity = true;
+                            }
+                        }
+                    }
+                    Err(FlashError::ReadUnwritten { .. } | FlashError::TornWordLine { .. }) => {
+                        intact = false;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if member_us > 0.0 {
+                self.touch_block(member, member_us);
+            }
+            critical_us = critical_us.max(member_us);
+            fanout_us += member_us;
+        }
+        // The XOR over a whole stripe is zero, so the survivors' XOR equals
+        // the lost page's tag exactly when the stripe is complete. A
+        // degraded stripe (dropped member) or one whose parity page is gone
+        // misses tags and fails the check.
+        if intact && (saw_parity || !self.spor.enabled) && acc == lpn {
+            self.stats.rebuilds_ok += 1;
+            self.stats.rebuild_ok_us += critical_us;
+            self.stats.rebuild_ok_fanout_us += fanout_us;
+        } else {
+            self.stats.rebuilds_failed += 1;
+        }
+        self.stats.rebuild_us += critical_us;
+        self.stats.busy_us += critical_us;
+        Ok(())
+    }
+
+    /// ECC check on a GC relocation read. With parity off this is the
+    /// historical relocation path bit for bit (raw sense time, no ECC
+    /// consult); with parity on the relocation pays the retry ladder and an
+    /// uncorrectable source page is rebuilt from its stripe before the
+    /// relocation's own restage replaces it. Returns the charged read time.
+    fn gc_read_with_parity_check(
+        &mut self,
+        lpn: u64,
+        ppa: PageAddr,
+        t_read: f64,
+        stripe: &[BlockAddr],
+    ) -> Result<f64> {
+        if !self.config.parity.enabled()
+            || !(self.config.fault.enabled() || self.config.integrity.track)
+        {
+            return Ok(t_read);
+        }
+        let bits = self.array.expected_error_bits(ppa, self.data_age_hours(lpn));
+        if self.config.retry.is_uncorrectable(bits) {
+            self.stats.uncorrectable_reads += 1;
+            self.rebuild_page(lpn, ppa, Some(stripe))?;
+        }
+        Ok(self.config.retry.read_latency_us(t_read, bits))
     }
 
     /// Reads a batch of logical pages exploiting chip parallelism: reads on
@@ -1216,6 +1362,7 @@ impl Ssd {
             geo.strings(),
             geo.pwl_layers(),
             geo.pages_per_lwl(),
+            self.config.parity.enabled(),
         );
         *self.slot(purpose) = Some(active);
         Ok(outcome.total_us)
@@ -1668,6 +1815,15 @@ impl Ssd {
             let cell = geo.cell();
             let pages_per_lwl = geo.pages_per_lwl();
             let mut time = 0.0;
+            // Parity verification rides the existing scan for free: the OOB
+            // reads below already visit every page of the stripe, so the
+            // stripe XOR accumulates as a side effect and only the parity
+            // payload itself costs one extra read. No second cursor.
+            let parity_on = self.config.parity.enabled();
+            let mut lwl_xor = 0u64;
+            let mut parity_page: Option<PageAddr> = None;
+            let mut live_pages = 0u64;
+            let mut unrefreshed_live: Vec<u64> = Vec::new();
             for member in members {
                 for k in 0..pages_per_lwl {
                     let pt = PageType::from_index(cell, k).expect("k < pages_per_lwl");
@@ -1679,6 +1835,15 @@ impl Ssd {
                         }
                         Err(e) => return Err(e.into()),
                     };
+                    if parity_on {
+                        if oob.is_parity() {
+                            parity_page = Some(page);
+                            continue;
+                        }
+                        // Every data/filler tag — live or stale — is part of
+                        // the stripe XOR (payload tag == OOB lpn for both).
+                        lwl_xor ^= oob.lpn;
+                    }
                     if oob.is_filler() || self.mapping.lookup(oob.lpn) != Some(page) {
                         // Filler or a stale copy: nothing to protect.
                         continue;
@@ -1688,6 +1853,7 @@ impl Ssd {
                     self.touch_block(page.wl.block, t_read);
                     time += t_read;
                     self.stats.patrol_scanned_pages += 1;
+                    live_pages += 1;
                     let bits = self.array.expected_error_bits(page, self.data_age_hours(oob.lpn));
                     if bits >= refresh_at {
                         if self.manager.assemblable() <= 1 {
@@ -1698,6 +1864,40 @@ impl Ssd {
                         }
                         time += self.stage_write(oob.lpn, Purpose::Gc)?;
                         self.stats.patrol_refreshes += 1;
+                    } else if parity_on {
+                        unrefreshed_live.push(oob.lpn);
+                    }
+                }
+            }
+            if parity_on && live_pages > 0 {
+                let mut mismatch = false;
+                match parity_page {
+                    Some(page) => {
+                        let (ptag, t_read) = self.array.read_page(page)?;
+                        self.touch_block(page.wl.block, t_read);
+                        time += t_read;
+                        if ptag == lwl_xor {
+                            self.stats.parity_verified += 1;
+                        } else {
+                            mismatch = true;
+                        }
+                    }
+                    // Live data with no parity page (the parity-carrying
+                    // member was dropped): the stripe is unprotected.
+                    None => mismatch = true,
+                }
+                if mismatch {
+                    // The stripe can no longer rebuild a lost page: feed its
+                    // live pages through the same reactive-refresh path an
+                    // uncorrectable read takes, so fresh protected copies
+                    // replace the exposed ones.
+                    self.stats.parity_mismatch += 1;
+                    for lpn in unrefreshed_live {
+                        if self.manager.assemblable() <= 1 {
+                            time += self.gc_slice_toward(f64::INFINITY, 2)?;
+                        }
+                        time += self.stage_write(lpn, Purpose::Gc)?;
+                        self.stats.refresh_relocations += 1;
                     }
                 }
             }
@@ -1738,12 +1938,25 @@ impl Ssd {
         Ok(time)
     }
 
+    /// Pages per superblock that can hold host data: all of them, minus the
+    /// one-parity-page-per-super-word-line reserve when parity is on.
+    /// Victim scoring normalizes valid-page counts by this, so a full
+    /// parity superblock still scores as full.
+    fn data_pages_per_superblock(&self) -> usize {
+        let all = self.geometry_info().pages_per_superblock as usize;
+        if self.config.parity.enabled() {
+            all - self.array.geometry().lwls_per_block() as usize
+        } else {
+            all
+        }
+    }
+
     /// Selects a victim and parks it as the resumable job. The victim stays
     /// in the sealed list — and therefore in every checkpoint — until the
     /// final flush + free, so a crash mid-collection recovers it under its
     /// old identity. Returns false when nothing is sealed.
     fn gc_start_job(&mut self) -> bool {
-        let pages_per_sb = self.geometry_info().pages_per_superblock as usize;
+        let pages_per_sb = self.data_pages_per_superblock();
         let Some(victim_idx) = select_victim(
             self.config.gc_policy,
             &self.sealed,
@@ -1774,6 +1987,7 @@ impl Ssd {
                 }
                 let (tag, t_read) = self.array.read_page(ppa)?;
                 debug_assert_eq!(tag, lpn);
+                let t_read = self.gc_read_with_parity_check(lpn, ppa, t_read, &job.members)?;
                 self.touch_block(ppa.wl.block, t_read);
                 let mut t = t_read;
                 t += self.stage_write(lpn, Purpose::Gc)?;
@@ -1818,7 +2032,7 @@ impl Ssd {
 
     /// Collects one victim superblock; `None` when no sealed victim exists.
     fn gc_once(&mut self) -> Result<Option<f64>> {
-        let pages_per_sb = self.geometry_info().pages_per_superblock as usize;
+        let pages_per_sb = self.data_pages_per_superblock();
         let Some(victim_idx) = select_victim(
             self.config.gc_policy,
             &self.sealed,
@@ -1839,6 +2053,7 @@ impl Ssd {
             for &(lpn, ppa) in &scratch {
                 let (tag, t_read) = self.array.read_page(ppa)?;
                 debug_assert_eq!(tag, lpn);
+                let t_read = self.gc_read_with_parity_check(lpn, ppa, t_read, &victim.members)?;
                 self.touch_block(ppa.wl.block, t_read);
                 time += t_read;
                 time += self.stage_write(lpn, Purpose::Gc)?;
@@ -2052,7 +2267,10 @@ impl Ssd {
                         let (_, t_read) = self.array.read_page(page)?;
                         report.scanned_pages += 1;
                         report.scan_us += t_read;
-                        if oob.is_filler() {
+                        if !oob.is_mapped() {
+                            // Filler padding and parity pages never enter the
+                            // L2P table — a parity payload is an XOR tag that
+                            // can collide with any real LPN.
                             continue;
                         }
                         max_seq = max_seq.max(oob.seq);
@@ -2457,11 +2675,9 @@ mod tests {
         // Every block weak, BER far past the retry ladder: the first read of
         // any flash-resident page must trigger a refresh relocation.
         config.fault = FaultConfig {
-            program_fail_prob: 0.0,
-            erase_fail_prob: 0.0,
-            fail_growth_per_kpe: 0.0,
             weak_block_prob: 1.0,
             weak_ber_multiplier: 1e6,
+            ..FaultConfig::default()
         };
         let mut dev = Ssd::new(config, 11).unwrap();
         dev.write(5).unwrap();
@@ -2477,6 +2693,96 @@ mod tests {
         assert!(r > healthy, "retry ladder + refresh must cost time: {r} vs {healthy}");
         // The refreshed copy is immediately readable again.
         assert!(dev.read(5).unwrap().is_some());
+    }
+
+    #[test]
+    fn parity_reserve_shrinks_logical_capacity_exactly() {
+        use crate::config::ParityConfig;
+        // Parity off: the historical export, pinned.
+        let dev = Ssd::new(FtlConfig::small_test(), 11).unwrap();
+        assert_eq!(dev.geometry_info().logical_pages, logical_capacity(9216, 0.25));
+        // Parity on: one page per super word-line comes off the top (9216 /
+        // 12 = 768 pages), and overprovision applies to what remains.
+        let mut config = FtlConfig::small_test();
+        config.parity = ParityConfig::On;
+        assert_eq!(config.parity_reserve_pages(9216), 768);
+        let dev = Ssd::new(config, 11).unwrap();
+        assert_eq!(dev.geometry_info().logical_pages, logical_capacity(9216 - 768, 0.25));
+    }
+
+    #[test]
+    fn double_failure_in_a_stripe_is_reported_not_absorbed() {
+        use crate::config::ParityConfig;
+        use flash_model::FaultConfig;
+        // Every block weak and far past the retry ladder: the read is
+        // uncorrectable AND so is every stripe sibling, so the rebuild must
+        // fail — loudly — while the reactive refresh still restages a copy.
+        let mut config = FtlConfig::small_test();
+        config.parity = ParityConfig::On;
+        config.fault = FaultConfig {
+            weak_block_prob: 1.0,
+            weak_ber_multiplier: 1e6,
+            ..FaultConfig::default()
+        };
+        let mut dev = Ssd::new(config, 11).unwrap();
+        dev.write(5).unwrap();
+        dev.flush().unwrap();
+        dev.read(5).unwrap().unwrap();
+        let s = dev.stats();
+        assert_eq!(s.uncorrectable_reads, 1);
+        assert_eq!(s.rebuilds_ok, 0, "no stripe with every member rotten can rebuild");
+        assert_eq!(s.rebuilds_failed, 1, "the double failure is true data loss, reported");
+        // All 11 surviving pages of the 12-wide stripe were still read.
+        assert_eq!(s.rebuild_reads, 11);
+        assert!(s.rebuild_us > 0.0, "the failed attempt still cost stripe reads");
+        assert_eq!(s.refresh_relocations, 1);
+    }
+
+    #[test]
+    fn parity_rebuilds_uncorrectable_pages_from_stripe_siblings() {
+        use crate::config::ParityConfig;
+        use flash_model::FaultConfig;
+        // A sprinkling of weak blocks whose elevation straddles the retry
+        // ladder across the page-type spread: the MSB page of a weak
+        // word-line rots past the ladder while its LSB/CSB siblings stay
+        // correctable — the single-page loss the stripe XOR can rebuild.
+        // Seed-scan so the test doesn't hinge on one RNG block layout.
+        for seed in 0..32u64 {
+            let mut config = FtlConfig::small_test();
+            config.parity = ParityConfig::On;
+            config.fault = FaultConfig {
+                weak_block_prob: 0.15,
+                weak_ber_multiplier: 150.0,
+                page_type_ber_spread: 0.35,
+                ..FaultConfig::default()
+            };
+            let mut dev = Ssd::new(config, seed).unwrap();
+            let info = dev.geometry_info();
+            let span = info.logical_pages / 2;
+            for lpn in 0..span {
+                dev.write(lpn).unwrap();
+            }
+            dev.flush().unwrap();
+            let reads_before = dev.stats().read_latency.len();
+            for lpn in 0..span {
+                dev.read(lpn).unwrap().unwrap();
+            }
+            let s = dev.stats();
+            // Every uncorrectable read triggered exactly one rebuild attempt
+            // and one reactive refresh.
+            assert_eq!(s.rebuilds_ok + s.rebuilds_failed, s.uncorrectable_reads);
+            assert_eq!(s.refresh_relocations, s.uncorrectable_reads);
+            // Each attempt read the 11 surviving pages of its stripe.
+            assert_eq!(s.rebuild_reads, 11 * s.uncorrectable_reads);
+            // Rebuild time is charged out of band: the read histogram saw
+            // exactly one sample per host read regardless of rebuilds.
+            assert_eq!(s.read_latency.len() - reads_before, span as usize);
+            if s.rebuilds_ok > 0 {
+                assert!(s.rebuild_us > 0.0, "successful rebuilds cost stripe-read time");
+                return;
+            }
+        }
+        panic!("no seed in 0..32 produced a successful stripe rebuild");
     }
 
     #[test]

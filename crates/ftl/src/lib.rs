@@ -51,8 +51,8 @@ mod wear_level;
 mod workload;
 
 pub use config::{
-    FtlConfig, IntegrityConfig, OrganizationScheme, PatrolConfig, PatrolOrder, PlacementPolicy,
-    QosClass,
+    FtlConfig, IntegrityConfig, OrganizationScheme, ParityConfig, PatrolConfig, PatrolOrder,
+    PlacementPolicy, QosClass,
 };
 pub use device::{GeometryInfo, Ssd};
 pub use error::FtlError;

@@ -340,6 +340,35 @@ pub struct SsdStats {
     pub torn_writes_discarded: u64,
     /// Simulated time the recovery scan took, µs.
     pub recovery_time_us: f64,
+    /// Sibling pages read while rebuilding uncorrectable pages from
+    /// superpage parity.
+    pub rebuild_reads: u64,
+    /// Parity rebuilds that recovered the lost payload.
+    pub rebuilds_ok: u64,
+    /// Parity rebuilds that could not recover the payload (double failure
+    /// in one super word-line, a dropped member, or missing parity) — true
+    /// data loss, reported rather than silently absorbed.
+    pub rebuilds_failed: u64,
+    /// Time spent on parity rebuild reads, µs: the slowest-member critical
+    /// path per rebuild. Charged like `refresh_us` — it advances `busy_us`
+    /// but never lands in the read latency histogram.
+    pub rebuild_us: f64,
+    /// The `rebuild_us` share spent on *successful* rebuilds. Failed
+    /// attempts read uncorrectable siblings at the full retry ladder, so
+    /// per-attempt means mix two regimes; this isolates the clean one.
+    pub rebuild_ok_us: f64,
+    /// Total sibling-read work of successful rebuilds, µs: the sum over
+    /// stripe members of each member's read chain. A rebuild's wall time
+    /// is the slowest chain (`rebuild_ok_us`); the gap between that
+    /// critical path and the mean chain (`rebuild_ok_fanout_us` / member
+    /// count) is the straggler cost stripe assembly controls.
+    pub rebuild_ok_fanout_us: f64,
+    /// Super word-line stripes whose parity checked out during patrol scans.
+    pub parity_verified: u64,
+    /// Stripes whose parity no longer covers their live pages (degraded or
+    /// corrupt); their pages are reactively refreshed like uncorrectable
+    /// reads.
+    pub parity_mismatch: u64,
 }
 
 impl SsdStats {

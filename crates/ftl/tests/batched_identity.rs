@@ -10,9 +10,10 @@
 //! (`fast_ckpt`) and the prefix latency cache: a batched device must crash,
 //! checkpoint, and recover exactly like a stepper device.
 
+use flash_model::FaultConfig;
 use ftl::{
     poisson_arrivals, CrashPoint, EngineMode, FtlConfig, FtlError, GcBudget, IoOp, IoRequest,
-    QueueModel, Ssd, SsdStats, Workload,
+    ParityConfig, QueueModel, Ssd, SsdStats, Workload,
 };
 
 /// Same mixed open-loop workload as `timed_golden.rs`: 3x-capacity writes
@@ -79,6 +80,15 @@ fn assert_stats_bit_identical(s: &SsdStats, b: &SsdStats, tag: &str) {
     assert_eq!(s.retired_blocks, b.retired_blocks, "{tag}: retired_blocks");
     assert_eq!(s.remapped_writes, b.remapped_writes, "{tag}: remapped_writes");
     assert_eq!(s.refresh_relocations, b.refresh_relocations, "{tag}: refresh_relocations");
+    assert_eq!(s.uncorrectable_reads, b.uncorrectable_reads, "{tag}: uncorrectable_reads");
+    assert_eq!(s.rebuild_reads, b.rebuild_reads, "{tag}: rebuild_reads");
+    assert_eq!(s.rebuilds_ok, b.rebuilds_ok, "{tag}: rebuilds_ok");
+    assert_eq!(s.rebuilds_failed, b.rebuilds_failed, "{tag}: rebuilds_failed");
+    assert_bits(s.rebuild_us, b.rebuild_us, "rebuild_us", tag);
+    assert_bits(s.rebuild_ok_us, b.rebuild_ok_us, "rebuild_ok_us", tag);
+    assert_bits(s.rebuild_ok_fanout_us, b.rebuild_ok_fanout_us, "rebuild_ok_fanout_us", tag);
+    assert_eq!(s.parity_verified, b.parity_verified, "{tag}: parity_verified");
+    assert_eq!(s.parity_mismatch, b.parity_mismatch, "{tag}: parity_mismatch");
     assert_eq!(s.degraded_superblocks, b.degraded_superblocks, "{tag}: degraded_superblocks");
     assert_eq!(s.queue_depth_max, b.queue_depth_max, "{tag}: queue_depth_max");
     assert_eq!(s.recovery_scan_pages, b.recovery_scan_pages, "{tag}: recovery_scan_pages");
@@ -151,6 +161,43 @@ fn batched_engine_matches_stepper_with_sliced_gc() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn batched_engine_matches_stepper_with_active_parity() {
+    // Parity changes the data layout (11-wide stripes + parity page), the
+    // capacity export, and the read path (uncorrectable reads rebuild their
+    // stripe and restage mid-run, charging rebuild_us/gc_stall_us). Both
+    // engines must agree bit-for-bit on all of it — and the workload must
+    // actually exercise rebuilds, or the test proves nothing.
+    let run = |engine: EngineMode| {
+        let mut config = FtlConfig::small_test();
+        config.parity = ParityConfig::On;
+        config.fault = FaultConfig {
+            weak_block_prob: 0.15,
+            weak_ber_multiplier: 150.0,
+            page_type_ber_spread: 0.35,
+            ..FaultConfig::default()
+        };
+        config.queue_model = QueueModel::PerChip;
+        config.engine = engine;
+        let mut dev = Ssd::new(config, 3).unwrap();
+        let timed = workload(&dev);
+        dev.run_timed(&timed).unwrap();
+        dev
+    };
+    let stepper = run(EngineMode::Stepper);
+    let batched = run(EngineMode::Batched);
+    assert!(stepper.stats().uncorrectable_reads > 0, "media must produce uncorrectables");
+    assert!(stepper.stats().rebuild_reads > 0, "rebuilds must fire");
+    assert_stats_bit_identical(stepper.stats(), batched.stats(), "active parity");
+    for lpn in 0..stepper.geometry_info().logical_pages {
+        assert_eq!(
+            stepper.mapping().lookup(lpn),
+            batched.mapping().lookup(lpn),
+            "active parity: mapping diverged at lpn {lpn}"
+        );
     }
 }
 

@@ -123,9 +123,38 @@ fn batched_engine_reproduces_the_same_golden_bits() {
     check_golden(EngineMode::Batched);
 }
 
+#[test]
+fn explicit_parity_off_and_zero_read_spread_reproduce_the_golden_bits() {
+    // The parity subsystem must be inert when off: an explicit
+    // `ParityConfig::Off` plus the zeroed knobs of its sibling channels —
+    // per-block read spread (nonzero correlation but zero σ must not even
+    // draw) and page-type BER spread — replays the pre-parity GOLDEN table
+    // bit for bit.
+    check_golden_with(EngineMode::Stepper, |config| {
+        config.parity = ftl::ParityConfig::Off;
+        config.flash.variation.read_block_sigma_us = 0.0;
+        config.flash.variation.read_pgm_corr = 0.8;
+        config.fault.page_type_ber_spread = 0.0;
+    });
+}
+
 fn check_golden(engine: EngineMode) {
+    check_golden_with(engine, |_| {});
+}
+
+fn check_golden_with(engine: EngineMode, mutate: impl Fn(&mut FtlConfig)) {
     for g in &GOLDEN {
-        let dev = run_with(g.idle_gc, QueueModel::Single, engine);
+        let dev = {
+            let mut config = FtlConfig::small_test();
+            config.idle_gc = g.idle_gc;
+            config.queue_model = QueueModel::Single;
+            config.engine = engine;
+            mutate(&mut config);
+            let mut dev = Ssd::new(config, 3).unwrap();
+            let timed = workload(&dev);
+            dev.run_timed(&timed).unwrap();
+            dev
+        };
         let s = dev.stats();
         let tag = format!("engine={} idle_gc={}", engine.label(), g.idle_gc);
         assert_eq!(s.host_writes, g.host_writes, "{tag} host_writes");

@@ -6,9 +6,10 @@
 //! both queue models. `submit_traced_batched` must likewise build streams
 //! identical to the legacy quadratic `submit_traced`.
 
+use flash_model::FaultConfig;
 use ftl::{
     poisson_arrivals, EngineMode, FtlConfig, GcBudget, IntegrityConfig, IoOp, IoRequest,
-    PatrolConfig, PatrolOrder, QosClass, QueueModel, Ssd, Workload,
+    ParityConfig, PatrolConfig, PatrolOrder, QosClass, QueueModel, Ssd, Workload,
 };
 use host::{Arbitration, HostFrontend, TenantSpec};
 
@@ -238,6 +239,71 @@ fn batched_drain_matches_stepper_drain_with_patrol_active() {
         assert_samples(ts.write_latency.samples_us(), tb.write_latency.samples_us(), "w", &tag);
         assert_samples(ts.read_latency.samples_us(), tb.read_latency.samples_us(), "r", &tag);
     }
+}
+
+#[test]
+fn batched_drain_matches_stepper_drain_with_active_parity() {
+    // Parity on + faulty media under multi-tenant arbitration: stripe
+    // rebuilds fire mid-drain and their emergency-GC slices land in
+    // gc_stall_us, which the SLO frontends charge per tenant — so the
+    // engines must agree on every rebuild verdict and every stall bit.
+    let run = |engine: EngineMode, parity: ParityConfig| {
+        let mut config = FtlConfig::small_test();
+        config.queue_model = QueueModel::PerChip;
+        config.engine = engine;
+        config.parity = parity;
+        config.fault = FaultConfig {
+            weak_block_prob: 0.15,
+            weak_ber_multiplier: 150.0,
+            page_type_ber_spread: 0.35,
+            ..FaultConfig::default()
+        };
+        let dev = Ssd::new(config, 3).unwrap();
+        let streams = streams(&dev);
+        let mut front = HostFrontend::new(dev, specs(), Arbitration::WeightedRoundRobin);
+        for (tenant, stream) in streams.iter().enumerate() {
+            front.submit(tenant, stream);
+        }
+        front.run().unwrap();
+        assert!(front.drained());
+        front
+    };
+    let stepper = run(EngineMode::Stepper, ParityConfig::On);
+    let batched = run(EngineMode::Batched, ParityConfig::On);
+    let (s, b) = (stepper.device().stats(), batched.device().stats());
+    assert!(s.uncorrectable_reads > 0, "parity: the media must produce uncorrectables");
+    assert!(s.rebuild_reads > 0, "parity: rebuilds must fire");
+    assert_eq!(stepper.dispatch_log(), batched.dispatch_log(), "parity: dispatch diverged");
+    assert_eq!(s.uncorrectable_reads, b.uncorrectable_reads, "parity: uncorrectable");
+    assert_eq!(s.rebuild_reads, b.rebuild_reads, "parity: rebuild_reads");
+    assert_eq!(s.rebuilds_ok, b.rebuilds_ok, "parity: rebuilds_ok");
+    assert_eq!(s.rebuilds_failed, b.rebuilds_failed, "parity: rebuilds_failed");
+    assert_eq!(s.rebuild_us.to_bits(), b.rebuild_us.to_bits(), "parity: rebuild_us");
+    assert_eq!(s.refresh_us.to_bits(), b.refresh_us.to_bits(), "parity: refresh_us");
+    assert_eq!(s.gc_stall_us.to_bits(), b.gc_stall_us.to_bits(), "parity: gc_stall_us");
+    assert_eq!(s.busy_us.to_bits(), b.busy_us.to_bits(), "parity: busy_us");
+    assert_samples(s.write_latency.samples_us(), b.write_latency.samples_us(), "w", "parity");
+    assert_samples(s.read_latency.samples_us(), b.read_latency.samples_us(), "r", "parity");
+    for tenant in 0..stepper.tenants() {
+        let (ts, tb) = (stepper.tenant_stats(tenant), batched.tenant_stats(tenant));
+        let tag = format!("parity tenant {}", ts.name);
+        assert_eq!(ts.completed, tb.completed, "{tag}: completed");
+        assert_samples(ts.read_latency.samples_us(), tb.read_latency.samples_us(), "r", &tag);
+    }
+    // And the off switch is inert at this level too: an explicit
+    // ParityConfig::Off frontend run (same faulty media) matches the
+    // stepper/batched pair built from the default config's `Off`.
+    let off_explicit = run(EngineMode::Stepper, ParityConfig::Off);
+    let off_batched = run(EngineMode::Batched, ParityConfig::Off);
+    let (s, b) = (off_explicit.device().stats(), off_batched.device().stats());
+    assert_eq!(s.rebuild_reads, 0, "parity off: no stripe reads");
+    assert_eq!(b.rebuild_reads, 0, "parity off: no stripe reads (batched)");
+    assert_eq!(s.busy_us.to_bits(), b.busy_us.to_bits(), "parity off: busy_us");
+    assert_eq!(
+        off_explicit.dispatch_log(),
+        off_batched.dispatch_log(),
+        "parity off: dispatch diverged"
+    );
 }
 
 #[test]
